@@ -1,0 +1,348 @@
+// Benchmarks regenerating the paper's tables and figures at reduced scale
+// (one benchmark per artefact; cmd/mmbench runs the full-size versions).
+// Metrics are attached with b.ReportMetric, so `go test -bench=.` prints
+// the quantities each figure reports: speed-ups, wirelength ratios and bit
+// counts.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/bitstream"
+	"repro/internal/experiments"
+	"repro/internal/flow"
+	"repro/internal/frames"
+	"repro/internal/gen/firgen"
+	"repro/internal/gen/mcncgen"
+	"repro/internal/gen/regexgen"
+	"repro/internal/lutnet"
+	"repro/internal/merge"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/synth"
+	"repro/internal/techmap"
+)
+
+// benchConfig is the reduced-effort configuration used by the benchmarks.
+func benchConfig() flow.Config {
+	return flow.Config{PlaceEffort: 0.15, Seed: 1}
+}
+
+// miniModes builds a small two-mode workload (regex engines a fraction of
+// the paper's size) shared by several benchmarks.
+func miniModes(b *testing.B) []*lutnet.Circuit {
+	b.Helper()
+	n1, err := regexgen.Generate("m1", `GET /(a|b)[\w]{6,}`, regexgen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n2, err := regexgen.Generate("m2", `POST /(c|d)[\w]{6,}`, regexgen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mapped, err := flow.MapModes([]*netlist.Netlist{n1, n2}, benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mapped
+}
+
+// BenchmarkTable1SuiteGeneration regenerates Table I: the three benchmark
+// suites through synthesis and technology mapping, reporting the average
+// 4-LUT counts per suite.
+func BenchmarkTable1SuiteGeneration(b *testing.B) {
+	var rows []experiments.SizeRow
+	for i := 0; i < b.N; i++ {
+		suites, err := experiments.BuildSuites(experiments.Scale{PairsPerSuite: 1, Effort: 0.1, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = experiments.TableI(suites)
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Avg), r.Suite+"-avg-LUTs")
+	}
+}
+
+// benchComparison runs the full three-way comparison on the miniature
+// workload, reporting figure metrics.
+func benchComparison(b *testing.B, report func(*testing.B, *flow.Comparison)) {
+	modes := miniModes(b)
+	b.ResetTimer()
+	var cmp *flow.Comparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		cmp, err = flow.RunComparison("bench", modes, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, cmp)
+}
+
+// BenchmarkFig5Reconfiguration regenerates Fig. 5's series: the
+// reconfiguration speed-up of DCS (both objectives) over MDR.
+func BenchmarkFig5Reconfiguration(b *testing.B) {
+	benchComparison(b, func(b *testing.B, cmp *flow.Comparison) {
+		b.ReportMetric(flow.Speedup(cmp.MDR, cmp.EdgeMatch), "speedup-edgematch")
+		b.ReportMetric(flow.Speedup(cmp.MDR, cmp.WireLen), "speedup-wirelength")
+	})
+}
+
+// BenchmarkFig6Breakdown regenerates Fig. 6's bars: routing configuration
+// cells rewritten under MDR, Diff counting, and DCS.
+func BenchmarkFig6Breakdown(b *testing.B) {
+	benchComparison(b, func(b *testing.B, cmp *flow.Comparison) {
+		b.ReportMetric(float64(cmp.Region.Graph.NumRoutingBits), "routing-bits-MDR")
+		b.ReportMetric(float64(cmp.MDR.DiffRoutingBits), "routing-bits-Diff")
+		b.ReportMetric(float64(cmp.WireLen.TRoute.ParamRoutingBits), "routing-bits-DCS")
+		b.ReportMetric(float64(cmp.Region.Arch.TotalLUTBits()), "LUT-bits")
+	})
+}
+
+// BenchmarkFig7Wirelength regenerates Fig. 7's series: per-mode wirelength
+// of the DCS implementations relative to MDR.
+func BenchmarkFig7Wirelength(b *testing.B) {
+	benchComparison(b, func(b *testing.B, cmp *flow.Comparison) {
+		b.ReportMetric(100*flow.WireRatio(cmp.MDR, cmp.EdgeMatch), "wire-pct-edgematch")
+		b.ReportMetric(100*flow.WireRatio(cmp.MDR, cmp.WireLen), "wire-pct-wirelength")
+	})
+}
+
+// BenchmarkAreaSavings regenerates the §IV-C area observations: the
+// constant-coefficient FIR versus the generic programmable filter.
+func BenchmarkAreaSavings(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		c, g, r, err := experiments.FIRGenericRatio(experiments.Scale{Effort: 0.1, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = c, g
+		ratio = r
+	}
+	b.ReportMetric(100*ratio, "const-vs-generic-pct")
+}
+
+// BenchmarkAblationMergeStrategies regenerates the merge-strategy ablation:
+// identity merge (no combined placement) versus the two optimised merges.
+func BenchmarkAblationMergeStrategies(b *testing.B) {
+	modes := miniModes(b)
+	cfg := benchConfig()
+	region, err := flow.SizeRegion(modes, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	region = flow.BuildRegion(region.Arch.Width, region.Arch.W+4)
+	b.ResetTimer()
+	var id, wl *flow.DCSResult
+	for i := 0; i < b.N; i++ {
+		id, err = flow.RunDCSIdentity("abl", modes, region, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wl, err = flow.RunDCS("abl", modes, region, merge.WireLength, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(id.ReconfigBits), "bits-identity-merge")
+	b.ReportMetric(float64(wl.ReconfigBits), "bits-combined-placement")
+}
+
+// BenchmarkFramesOutlook regenerates the §IV-C1 frame-granularity outlook:
+// the routing-frame speed-up when only frames holding rewritten bits are
+// reconfigured (predicted 4×–20× by the paper).
+func BenchmarkFramesOutlook(b *testing.B) {
+	benchComparison(b, func(b *testing.B, cmp *flow.Comparison) {
+		onCount := map[int32]int{}
+		for _, m := range cmp.MDR.PerMode {
+			for bit := range m.UsedBits {
+				onCount[bit]++
+			}
+		}
+		var diffBits []int32
+		for bit, c := range onCount {
+			if c != len(cmp.MDR.PerMode) {
+				diffBits = append(diffBits, bit)
+			}
+		}
+		rep := frames.Analyze(cmp.Region.Graph, 64, diffBits, cmp.WireLen.TRoute.BitModes, 2)
+		b.ReportMetric(float64(rep.TotalFrames), "frames-total")
+		b.ReportMetric(float64(rep.ParamFrames), "frames-param")
+		b.ReportMetric(rep.SpeedupDCS, "frame-speedup")
+	})
+}
+
+// BenchmarkBitstreamRoundTrip measures full configuration assembly plus
+// decoding (the verification loop of package bitstream).
+func BenchmarkBitstreamRoundTrip(b *testing.B) {
+	c, err := techmap.Map(synth.Optimize(benchNetlist(300, 9)), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	side := arch.MinGridForBlocks(c.NumBlocks(), c.NumPIs()+len(c.POs), 1.2)
+	a := arch.New(side, side, 10)
+	g := arch.BuildGraph(a)
+	prob, cc := place.FromCircuit(c)
+	pl, err := place.Place(prob, a, place.Options{Seed: 1, Effort: 0.15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets, err := route.NetsForPlacedCircuit(g, c, cc, pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rr, err := route.Route(g, nets, route.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names, err := bitstream.CircuitPadNames(g, c, cc, pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg, err := bitstream.Assemble(g, c, cc, pl, nets, rr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bitstream.Decode(g, cfg, names); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- component-level benchmarks (the substrates) ---
+
+func benchNetlist(n int, seed int64) *netlist.Netlist {
+	rng := rand.New(rand.NewSource(seed))
+	bld := netlist.NewBuilder(fmt.Sprintf("b%d", seed))
+	sigs := bld.InputVector("in", 8)
+	for i := 0; i < n; i++ {
+		x := sigs[rng.Intn(len(sigs))]
+		y := sigs[rng.Intn(len(sigs))]
+		switch rng.Intn(4) {
+		case 0:
+			sigs = append(sigs, bld.And(x, y))
+		case 1:
+			sigs = append(sigs, bld.Or(x, y))
+		case 2:
+			sigs = append(sigs, bld.Xor(x, y))
+		default:
+			sigs = append(sigs, bld.Latch(x, false))
+		}
+	}
+	for i := 0; i < 6; i++ {
+		bld.Output(fmt.Sprintf("o[%d]", i), sigs[len(sigs)-1-i])
+	}
+	return bld.N
+}
+
+// BenchmarkSynthOptimize measures the synthesis clean-up passes.
+func BenchmarkSynthOptimize(b *testing.B) {
+	n := benchNetlist(600, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		synth.Optimize(n)
+	}
+}
+
+// BenchmarkTechmap measures K-LUT mapping.
+func BenchmarkTechmap(b *testing.B) {
+	n := synth.Optimize(benchNetlist(600, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := techmap.Map(n, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlaceSA measures the VPR-style annealer.
+func BenchmarkPlaceSA(b *testing.B) {
+	c, err := techmap.Map(synth.Optimize(benchNetlist(400, 5)), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	side := arch.MinGridForBlocks(c.NumBlocks(), c.NumPIs()+len(c.POs), 1.2)
+	a := arch.New(side, side, 8)
+	prob, _ := place.FromCircuit(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := place.Place(prob, a, place.Options{Seed: int64(i), Effort: 0.15}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPathFinder measures negotiated-congestion routing.
+func BenchmarkPathFinder(b *testing.B) {
+	c, err := techmap.Map(synth.Optimize(benchNetlist(400, 6)), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	side := arch.MinGridForBlocks(c.NumBlocks(), c.NumPIs()+len(c.POs), 1.2)
+	a := arch.New(side, side, 10)
+	g := arch.BuildGraph(a)
+	prob, cc := place.FromCircuit(c)
+	pl, err := place.Place(prob, a, place.Options{Seed: 1, Effort: 0.15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets, err := route.NetsForPlacedCircuit(g, c, cc, pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := route.Route(g, nets, route.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCombinedPlacement measures the paper's merge step alone.
+func BenchmarkCombinedPlacement(b *testing.B) {
+	modes := miniModes(b)
+	maxB, maxIO := 0, 0
+	for _, c := range modes {
+		if c.NumBlocks() > maxB {
+			maxB = c.NumBlocks()
+		}
+		if io := c.NumPIs() + len(c.POs); io > maxIO {
+			maxIO = io
+		}
+	}
+	side := arch.MinGridForBlocks(maxB, maxIO, 1.2)
+	a := arch.New(side, side, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := merge.CombinedPlace("bench", modes, a, merge.Options{
+			Seed: int64(i), Effort: 0.15, Objective: merge.WireLength,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadGenerators measures the three suite generators.
+func BenchmarkWorkloadGenerators(b *testing.B) {
+	rules := regexgen.BleedingEdgeRules()
+	for i := 0; i < b.N; i++ {
+		if _, err := regexgen.Generate(rules[0].Name, rules[0].Pattern, regexgen.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		spec := firgen.DefaultSpec(firgen.LowPass, int64(i))
+		if _, err := firgen.Generate("f", spec, firgen.Design(spec)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mcncgen.Generate(mcncgen.Suite()[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

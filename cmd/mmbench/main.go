@@ -1,0 +1,141 @@
+// Command mmbench reproduces the evaluation section of the paper: Table I,
+// Fig. 5 (reconfiguration speed-up), Fig. 6 (LUT/routing breakdown),
+// Fig. 7 (wirelength vs MDR), the §IV-C area observations, and the merge
+// ablations.
+//
+// Usage:
+//
+//	mmbench -exp all|table1|fig5|fig6|fig7|area|ablation [-pairs 4] [-effort 0.4] [-seed 1] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table1, fig5, fig6, fig7, area, ablation, frames")
+	pairs := flag.Int("pairs", 4, "multi-mode pairs per suite (paper: 10)")
+	effort := flag.Float64("effort", 0.4, "annealing effort")
+	seed := flag.Int64("seed", 1, "random seed")
+	full := flag.Bool("full", false, "paper-scale run (all 30 pairs, effort 0.5)")
+	verbose := flag.Bool("v", false, "print per-pair details")
+	flag.Parse()
+
+	sc := experiments.Scale{PairsPerSuite: *pairs, Effort: *effort, Seed: *seed}
+	if *full {
+		sc = experiments.FullScale()
+	}
+
+	start := time.Now()
+	suites, err := experiments.BuildSuites(sc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# benchmark suites generated in %v (scale: %d pairs/suite, effort %.2f)\n\n",
+		time.Since(start).Round(time.Millisecond), sc.PairsPerSuite, sc.Effort)
+
+	if *exp == "table1" || *exp == "all" {
+		experiments.PrintTableI(os.Stdout, experiments.TableI(suites))
+		fmt.Println()
+		if *exp == "table1" {
+			return
+		}
+	}
+
+	needPairs := map[string]bool{"all": true, "fig5": true, "fig6": true, "fig7": true}
+	var results []*experiments.PairResult
+	if needPairs[*exp] {
+		for _, s := range suites {
+			rs, err := experiments.RunSuite(s, sc, func(msg string) {
+				fmt.Fprintf(os.Stderr, "running %s...\n", msg)
+			})
+			if err != nil {
+				fatal(err)
+			}
+			results = append(results, rs...)
+		}
+		if *verbose {
+			for _, r := range results {
+				experiments.PrintPair(os.Stdout, r)
+			}
+			fmt.Println()
+		}
+	}
+
+	switch *exp {
+	case "all":
+		experiments.PrintFig5(os.Stdout, experiments.Fig5(results))
+		fmt.Println()
+		experiments.PrintFig6(os.Stdout, experiments.Fig6(results, "RegExp"))
+		fmt.Println()
+		experiments.PrintFig7(os.Stdout, experiments.Fig7(results))
+		fmt.Println()
+		printArea(suites, sc)
+		fmt.Println()
+		printAblation(suites, sc)
+		fmt.Println()
+		printFrames(suites, sc)
+	case "fig5":
+		experiments.PrintFig5(os.Stdout, experiments.Fig5(results))
+	case "fig6":
+		experiments.PrintFig6(os.Stdout, experiments.Fig6(results, "RegExp"))
+	case "fig7":
+		experiments.PrintFig7(os.Stdout, experiments.Fig7(results))
+	case "area":
+		printArea(suites, sc)
+	case "ablation":
+		printAblation(suites, sc)
+	case "frames":
+		printFrames(suites, sc)
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	fmt.Printf("\n# total runtime %v\n", time.Since(start).Round(time.Second))
+}
+
+func printArea(suites []*experiments.Suite, sc experiments.Scale) {
+	rows := experiments.AreaSavings(suites)
+	c, g, ratio, err := experiments.FIRGenericRatio(sc)
+	if err != nil {
+		fatal(err)
+	}
+	experiments.PrintArea(os.Stdout, rows, c, g, ratio)
+}
+
+func printAblation(suites []*experiments.Suite, sc experiments.Scale) {
+	for _, s := range suites {
+		a, err := experiments.RunAblation(s, sc)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintAblation(os.Stdout, a)
+	}
+	r, err := experiments.RunRelaxAblation(suites[0], sc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Relaxation ablation (RegExp pair 0): relax=1.2 speedup %.2fx wire %.0f%%; relax=1.0 speedup %.2fx wire %.0f%%\n",
+		r.RelaxedSpeedup, 100*r.RelaxedWire, r.TightSpeedup, 100*r.TightWire)
+}
+
+func printFrames(suites []*experiments.Suite, sc experiments.Scale) {
+	var rows []*experiments.FrameResult
+	for _, s := range suites {
+		r, err := experiments.RunFrames(s, sc, 64)
+		if err != nil {
+			fatal(err)
+		}
+		rows = append(rows, r)
+	}
+	experiments.PrintFrames(os.Stdout, rows)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mmbench:", err)
+	os.Exit(1)
+}

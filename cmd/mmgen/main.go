@@ -1,0 +1,88 @@
+// Command mmgen generates the benchmark circuits of the experiments and
+// writes them as BLIF files, so they can be fed back through cmd/mmflow or
+// inspected with other tools.
+//
+// Usage:
+//
+//	mmgen -suite regexp|fir|mcnc [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/gen/firgen"
+	"repro/internal/gen/mcncgen"
+	"repro/internal/gen/regexgen"
+	"repro/internal/netlist"
+)
+
+func main() {
+	suite := flag.String("suite", "regexp", "benchmark suite: regexp, fir or mcnc")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	var nls []*netlist.Netlist
+	switch *suite {
+	case "regexp":
+		for _, r := range regexgen.BleedingEdgeRules() {
+			n, err := regexgen.Generate(r.Name, r.Pattern, regexgen.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			nls = append(nls, n)
+		}
+	case "fir":
+		for i := 0; i < 10; i++ {
+			lp := firgen.DefaultSpec(firgen.LowPass, int64(i))
+			n, err := firgen.Generate(fmt.Sprintf("lp%d", i), lp, firgen.Design(lp))
+			if err != nil {
+				fatal(err)
+			}
+			nls = append(nls, n)
+			hp := firgen.DefaultSpec(firgen.HighPass, int64(100+i))
+			m, err := firgen.Generate(fmt.Sprintf("hp%d", i), hp, firgen.Design(hp))
+			if err != nil {
+				fatal(err)
+			}
+			nls = append(nls, m)
+		}
+	case "mcnc":
+		for _, spec := range mcncgen.Suite() {
+			n, err := mcncgen.Generate(spec)
+			if err != nil {
+				fatal(err)
+			}
+			nls = append(nls, n)
+		}
+	default:
+		fatal(fmt.Errorf("unknown suite %q", *suite))
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, n := range nls {
+		path := filepath.Join(*out, n.Name+".blif")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := netlist.WriteBLIF(f, n); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st := n.Stats()
+		fmt.Printf("%s: %d gates, %d latches, %d inputs, %d outputs\n",
+			path, st.Gates, st.Latches, st.Inputs, st.Outputs)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mmgen:", err)
+	os.Exit(1)
+}

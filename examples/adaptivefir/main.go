@@ -1,0 +1,101 @@
+// Adaptive filter: the paper's second workload as a runnable example. A
+// low-pass and a high-pass FIR filter form a two-mode circuit; run-time
+// reconfiguration switches between them. The example implements the pair
+// with MDR and DCS, then pushes a test signal (a step) through both modes
+// of the merged circuit to show the filters behave as designed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/flow"
+	"repro/internal/gen/firgen"
+	"repro/internal/lutnet"
+	"repro/internal/netlist"
+)
+
+func main() {
+	lpSpec := firgen.Spec{Kind: firgen.LowPass, Taps: 8, NonZero: 4, Cutoff: 0.22, CoeffBits: 6, InputBits: 6, Seed: 1}
+	hpSpec := firgen.Spec{Kind: firgen.HighPass, Taps: 8, NonZero: 4, Cutoff: 0.22, CoeffBits: 6, InputBits: 6, Seed: 2}
+	lpCoef := firgen.Design(lpSpec)
+	hpCoef := firgen.Design(hpSpec)
+	fmt.Printf("low-pass coefficients:  %v\n", lpCoef)
+	fmt.Printf("high-pass coefficients: %v\n", hpCoef)
+
+	lp, err := firgen.Generate("lowpass", lpSpec, lpCoef)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hp, err := firgen.Generate("highpass", hpSpec, hpCoef)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := flow.Config{PlaceEffort: 0.25, Seed: 11}
+	mapped, err := flow.MapModes([]*netlist.Netlist{lp, hp}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmapped: low-pass %d LUTs, high-pass %d LUTs\n",
+		mapped[0].NumBlocks(), mapped[1].NumBlocks())
+
+	cmp, err := flow.RunComparison("adaptive-fir", mapped, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mode switch: MDR %d bits, DCS %d bits (%.2fx faster), wirelength %.0f%% of MDR\n\n",
+		cmp.MDR.ReconfigBits, cmp.WireLen.ReconfigBits,
+		flow.Speedup(cmp.MDR, cmp.WireLen), 100*flow.WireRatio(cmp.MDR, cmp.WireLen))
+
+	// Drive a step input through both modes of the merged circuit.
+	step := make([]int, 24)
+	for i := 8; i < len(step); i++ {
+		step[i] = 15
+	}
+	for mode, name := range map[int]string{0: "low-pass", 1: "high-pass"} {
+		circ, err := cmp.WireLen.Merge.Tunable.ExtractMode(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := lutnet.NewSimulator(circ)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec := lpSpec
+		if mode == 1 {
+			spec = hpSpec
+		}
+		fmt.Printf("%s step response: ", name)
+		for _, x := range step {
+			in := map[string]bool{}
+			for i := 0; i < spec.InputBits; i++ {
+				in[fmt.Sprintf("x[%d]", i)] = x>>uint(i)&1 == 1
+			}
+			out := sim.Step(in)
+			v := 0
+			w := spec.OutputBits()
+			for i := 0; i < w; i++ {
+				if out[fmt.Sprintf("y[%d]", i)] {
+					v |= 1 << uint(i)
+				}
+			}
+			if v >= 1<<uint(w-1) {
+				v -= 1 << uint(w)
+			}
+			fmt.Printf("%d ", v)
+		}
+		sum := 0
+		for _, c := range coeffsOf(mode, lpCoef, hpCoef) {
+			sum += c
+		}
+		fmt.Printf("  (steady state = step 15 x DC gain %d = %d)\n", sum, 15*sum)
+	}
+}
+
+func coeffsOf(mode int, lp, hp []int) []int {
+	if mode == 0 {
+		return lp
+	}
+	return hp
+}

@@ -1,0 +1,85 @@
+// Edge matching vs wire-length optimisation: a walk-through of the paper's
+// central comparison (§III-B, Figs. 5 and 7). Two related circuits are
+// merged twice — once maximising matched connections (prior work) and once
+// minimising estimated wirelength (the paper's approach) — and the example
+// prints how the two objectives trade connection matching against routed
+// wirelength.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/flow"
+	"repro/internal/merge"
+	"repro/internal/netlist"
+)
+
+// buildVariant builds structurally similar random datapaths; the two modes
+// differ in a fraction of their gates, like two revisions of one design.
+func buildVariant(name string, seed int64) *netlist.Netlist {
+	rng := rand.New(rand.NewSource(seed))
+	b := netlist.NewBuilder(name)
+	sigs := b.InputVector("in", 6)
+	for i := 0; i < 90; i++ {
+		x := sigs[rng.Intn(len(sigs))]
+		y := sigs[rng.Intn(len(sigs))]
+		var s int
+		switch rng.Intn(5) {
+		case 0:
+			s = b.And(x, y)
+		case 1:
+			s = b.Or(x, y)
+		case 2:
+			s = b.Xor(x, y)
+		case 3:
+			s = b.Not(x)
+		default:
+			s = b.Latch(x, false)
+		}
+		sigs = append(sigs, s)
+	}
+	for i := 0; i < 5; i++ {
+		b.Output(fmt.Sprintf("o[%d]", i), sigs[len(sigs)-1-i])
+	}
+	return b.N
+}
+
+func main() {
+	cfg := flow.Config{PlaceEffort: 0.3, Seed: 5}
+	mapped, err := flow.MapModes([]*netlist.Netlist{
+		buildVariant("rev-a", 40),
+		buildVariant("rev-b", 41),
+	}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("modes: %d and %d LUTs\n\n", mapped[0].NumBlocks(), mapped[1].NumBlocks())
+
+	cmp, err := flow.RunComparison("edge-vs-wl", mapped, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(label string, d *flow.DCSResult) {
+		st := d.Merge.Tunable.Stats()
+		perMode := 0
+		for _, n := range st.PerModeConn {
+			perMode += n
+		}
+		fmt.Printf("%-22s tunable conns %4d (of %4d per-mode; %3d fully shared)  "+
+			"reconfig %5d bits (%.2fx)  wire %3.0f%% of MDR\n",
+			label, st.NumConns, perMode, st.SharedConns,
+			d.ReconfigBits, flow.Speedup(cmp.MDR, d), 100*flow.WireRatio(cmp.MDR, d))
+	}
+	fmt.Printf("MDR baseline: %d reconfiguration bits, avg wirelength %.0f segments\n\n",
+		cmp.MDR.ReconfigBits, cmp.MDR.AvgWire)
+	show("DCS edge matching:", cmp.EdgeMatch)
+	show("DCS wire-length:", cmp.WireLen)
+
+	fmt.Println("\nThe paper's observation: both objectives achieve a similar reconfiguration")
+	fmt.Println("speed-up, but optimising wirelength during the combined placement keeps the")
+	fmt.Println("per-mode wirelength close to MDR, while pure edge matching lets it grow.")
+	_ = merge.EdgeMatch
+}

@@ -1,0 +1,278 @@
+package bitstream
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/logic"
+	"repro/internal/lutnet"
+	"repro/internal/merge"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/techmap"
+	"repro/internal/troute"
+)
+
+// buildCircuit maps a small random netlist (init-false latches only, since
+// FF initial state is not part of a configuration).
+func buildCircuit(t *testing.T, seed int64, nGates int) *lutnet.Circuit {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := netlist.NewBuilder(fmt.Sprintf("c%d", seed))
+	sigs := b.InputVector("in", 4)
+	for i := 0; i < nGates; i++ {
+		x := sigs[rng.Intn(len(sigs))]
+		y := sigs[rng.Intn(len(sigs))]
+		var s int
+		switch rng.Intn(5) {
+		case 0:
+			s = b.And(x, y)
+		case 1:
+			s = b.Or(x, y)
+		case 2:
+			s = b.Xor(x, y)
+		case 3:
+			s = b.Not(x)
+		default:
+			s = b.Latch(x, false)
+		}
+		sigs = append(sigs, s)
+	}
+	for i := 0; i < 3; i++ {
+		b.Output(fmt.Sprintf("o[%d]", i), sigs[len(sigs)-1-i])
+	}
+	c, err := techmap.Map(b.N, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func simEq(t *testing.T, a, b *lutnet.Circuit, cycles int, seed int64) {
+	t.Helper()
+	sa, err := lutnet.NewSimulator(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := lutnet.NewSimulator(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for cyc := 0; cyc < cycles; cyc++ {
+		in := map[string]bool{}
+		for _, nm := range a.PINames {
+			in[nm] = rng.Intn(2) == 0
+		}
+		oa, ob := sa.Step(in), sb.Step(in)
+		for k, v := range oa {
+			if ob[k] != v {
+				t.Fatalf("cycle %d output %s: %v vs %v", cyc, k, v, ob[k])
+			}
+		}
+	}
+}
+
+func TestConfigLUTReadback(t *testing.T) {
+	a := arch.New(3, 3, 4)
+	g := arch.BuildGraph(a)
+	cfg := NewConfig(a, g)
+	tt := logic.NewTT(4, 0xBEEF)
+	if err := cfg.SetLUT(2, 3, tt, true); err != nil {
+		t.Fatal(err)
+	}
+	got, ff := cfg.GetLUT(2, 3)
+	if !got.Equal(tt) || !ff {
+		t.Fatalf("readback %s/%v, want %s/true", got, ff, tt)
+	}
+	// Other sites untouched.
+	other, ff2 := cfg.GetLUT(1, 1)
+	if !other.IsConst0() || ff2 {
+		t.Fatal("neighbouring LUT disturbed")
+	}
+}
+
+func TestDiffBits(t *testing.T) {
+	a := arch.New(2, 2, 2)
+	g := arch.BuildGraph(a)
+	c1 := NewConfig(a, g)
+	c2 := NewConfig(a, g)
+	c2.LUT[3] = true
+	c2.Routing[5] = true
+	c2.Routing[9] = true
+	l, r, err := DiffBits(c1, c2)
+	if err != nil || l != 1 || r != 2 {
+		t.Fatalf("DiffBits = %d,%d,%v", l, r, err)
+	}
+}
+
+// assembleMDR places, routes and assembles one circuit.
+func assembleMDR(t *testing.T, c *lutnet.Circuit, g *arch.Graph, seed int64) (*Config, PadNames) {
+	t.Helper()
+	prob, cc := place.FromCircuit(c)
+	pl, err := place.Place(prob, g.Arch, place.Options{Seed: seed, Effort: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets, err := route.NetsForPlacedCircuit(g, c, cc, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := route.Route(g, nets, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Assemble(g, c, cc, pl, nets, rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := CircuitPadNames(g, c, cc, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, names
+}
+
+func TestAssembleDecodeRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		c := buildCircuit(t, seed, 30)
+		side := arch.MinGridForBlocks(c.NumBlocks(), c.NumPIs()+len(c.POs), 1.2)
+		a := arch.New(side, side, 10)
+		g := arch.BuildGraph(a)
+		cfg, names := assembleMDR(t, c, g, seed)
+		decoded, err := Decode(g, cfg, names)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		simEq(t, c, decoded, 48, seed+100)
+	}
+}
+
+func TestMDRDiffMatchesFlowAccounting(t *testing.T) {
+	// The routing bits differing between two assembled MDR configurations
+	// must equal the flow's Diff counting.
+	c0 := buildCircuit(t, 11, 30)
+	c1 := buildCircuit(t, 12, 30)
+	maxB := c0.NumBlocks()
+	if c1.NumBlocks() > maxB {
+		maxB = c1.NumBlocks()
+	}
+	side := arch.MinGridForBlocks(maxB, c0.NumPIs()+len(c0.POs), 1.2)
+	a := arch.New(side, side, 10)
+	g := arch.BuildGraph(a)
+	cfg0, _ := assembleMDR(t, c0, g, 1)
+	cfg1, _ := assembleMDR(t, c1, g, 2)
+	_, routingDiff, err := DiffBits(cfg0, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on0 := map[int]bool{}
+	for i, v := range cfg0.Routing {
+		if v {
+			on0[i] = true
+		}
+	}
+	sym := 0
+	for i, v := range cfg1.Routing {
+		if v != cfg0.Routing[i] {
+			sym++
+		}
+	}
+	if routingDiff != sym {
+		t.Fatalf("DiffBits disagrees with itself: %d vs %d", routingDiff, sym)
+	}
+	if routingDiff == 0 {
+		t.Fatal("different circuits with identical routing configurations")
+	}
+}
+
+func TestTunableModeConfigsRoundTrip(t *testing.T) {
+	modes := []*lutnet.Circuit{buildCircuit(t, 21, 28), buildCircuit(t, 22, 28)}
+	maxB, maxIO := 0, 0
+	for _, c := range modes {
+		if c.NumBlocks() > maxB {
+			maxB = c.NumBlocks()
+		}
+		if io := c.NumPIs() + len(c.POs); io > maxIO {
+			maxIO = io
+		}
+	}
+	side := arch.MinGridForBlocks(maxB, maxIO, 1.2)
+	a := arch.New(side, side, 12)
+	g := arch.BuildGraph(a)
+
+	mres, err := merge.CombinedPlace("bs", modes, a, merge.Options{Seed: 3, Effort: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := troute.RouteTunable(g, mres.Tunable, mres.LUTSite, mres.PadSite, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var cfgs []*Config
+	for m := range modes {
+		cfg, err := AssembleTunableMode(g, mres.Tunable, mres.LUTSite, mres.PadSite, tr, m)
+		if err != nil {
+			t.Fatalf("mode %d: %v", m, err)
+		}
+		names, err := TunablePadNames(g, mres.Tunable, mres.PadSite, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := Decode(g, cfg, names)
+		if err != nil {
+			t.Fatalf("mode %d decode: %v", m, err)
+		}
+		// The decoded configuration must implement the original mode.
+		simEq(t, modes[m], decoded, 48, int64(m+200))
+		cfgs = append(cfgs, cfg)
+	}
+
+	// The bits differing between the two mode configurations are exactly
+	// the parameterised routing bits of the TRoute analysis.
+	_, routingDiff, err := DiffBits(cfgs[0], cfgs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routingDiff != tr.ParamRoutingBits {
+		t.Fatalf("bitstream diff %d != parameterised bits %d", routingDiff, tr.ParamRoutingBits)
+	}
+}
+
+func TestDecodeRejectsConflict(t *testing.T) {
+	// Turn on two drivers into one wire: decoding must fail.
+	a := arch.New(2, 2, 4)
+	g := arch.BuildGraph(a)
+	cfg := NewConfig(a, g)
+	// Find two OPIN->wire switches onto the same wire.
+	type hit struct {
+		bit int32
+	}
+	wireIn := map[int32][]hit{}
+	for n := int32(0); n < int32(g.NumNodes()); n++ {
+		if g.Nodes[n].Type != arch.NodeOPin {
+			continue
+		}
+		tos := g.Edges(n)
+		bits := g.EdgeBits(n)
+		for i, to := range tos {
+			if g.Nodes[to].IsWire() {
+				wireIn[to] = append(wireIn[to], hit{bits[i]})
+			}
+		}
+	}
+	for _, hits := range wireIn {
+		if len(hits) >= 2 {
+			cfg.Routing[hits[0].bit] = true
+			cfg.Routing[hits[1].bit] = true
+			break
+		}
+	}
+	if _, err := Decode(g, cfg, PadNames{}); err == nil {
+		t.Fatal("conflicting drivers accepted")
+	}
+}

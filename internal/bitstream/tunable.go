@@ -1,0 +1,143 @@
+package bitstream
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/logic"
+	"repro/internal/lutnet"
+	"repro/internal/place"
+	"repro/internal/troute"
+	"repro/internal/tunable"
+)
+
+// AssembleTunableMode produces the full configuration the reconfiguration
+// manager would realise for one mode value of a routed Tunable circuit:
+// every parameterised bit is evaluated at that mode and written next to
+// the static bits. Comparing two modes' configurations with DiffBits ties
+// the paper's bit accounting to actual bitstreams.
+func AssembleTunableMode(g *arch.Graph, tc *tunable.Circuit,
+	lutSite, padSite []arch.Site, tr *troute.Result, m int) (*Config, error) {
+	if m < 0 || m >= tc.NumModes {
+		return nil, fmt.Errorf("bitstream: mode %d out of range", m)
+	}
+	cfg := NewConfig(g.Arch, g)
+
+	// Routing bits: the parameterised bits evaluated at mode m plus the
+	// static-on bits (those active in every mode).
+	for bit, act := range tr.BitModes {
+		if act.Contains(m) {
+			cfg.Routing[bit] = true
+		}
+	}
+
+	// LUT-input permutation per mode: entity source -> this CLB's pins.
+	// tr.PinActs[i] records, for net i (grouped by source entity, in
+	// BuildNets order), which CLB input pins it enters and in which modes.
+	netBySource := map[int32]int{}
+	for i, n := range tr.Nets {
+		netBySource[n.Source] = i
+	}
+	em := g.Arch.NewIOIndexer()
+	sourceNode := func(e tunable.Entity) (int32, error) {
+		if e.IsPad {
+			i, ok := em[padSite[e.Idx]]
+			if !ok {
+				return 0, fmt.Errorf("bitstream: pad group %d site unknown", e.Idx)
+			}
+			return g.PadSource(i), nil
+		}
+		s := lutSite[e.Idx]
+		return g.CLBSource(s.X, s.Y), nil
+	}
+
+	for t := range tc.TLUTs {
+		content := tc.TLUTs[t].PerMode[m]
+		site := lutSite[t]
+		if content == nil {
+			// Inactive in this mode: clear LUT (constant 0, no FF).
+			if err := cfg.SetLUT(site.X, site.Y, logic.ConstTT(g.Arch.K, false), false); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		varMap := make([]int, len(content.Inputs))
+		used := map[int]bool{}
+		for i, e := range content.Inputs {
+			src, err := sourceNode(e)
+			if err != nil {
+				return nil, err
+			}
+			ni, ok := netBySource[src]
+			if !ok {
+				return nil, fmt.Errorf("bitstream: TLUT %d input %d: no net for %v", t, i, e)
+			}
+			pin := -1
+			for node, act := range tr.PinActs[ni] {
+				nd := g.Nodes[node]
+				if int(nd.X) != site.X || int(nd.Y) != site.Y {
+					continue
+				}
+				if !act.Contains(m) || used[int(nd.Track)] {
+					continue
+				}
+				pin = int(nd.Track)
+				break
+			}
+			if pin < 0 {
+				return nil, fmt.Errorf("bitstream: TLUT %d input %d (%v): no pin active in mode %d", t, i, e, m)
+			}
+			used[pin] = true
+			varMap[i] = pin
+		}
+		phys := content.TT.Expand(g.Arch.K, varMap)
+		if err := cfg.SetLUT(site.X, site.Y, phys, content.HasFF); err != nil {
+			return nil, err
+		}
+	}
+	return cfg, nil
+}
+
+// TunablePadNames derives the pad naming of one mode from the Tunable
+// circuit's pad contents.
+func TunablePadNames(g *arch.Graph, tc *tunable.Circuit, padSite []arch.Site, m int) (PadNames, error) {
+	names := PadNames{In: map[int]string{}, Out: map[int]string{}}
+	em := g.Arch.NewIOIndexer()
+	for p := range tc.TPads {
+		pc := tc.TPads[p].PerMode[m]
+		if pc == nil {
+			continue
+		}
+		idx, ok := em[padSite[p]]
+		if !ok {
+			return names, fmt.Errorf("bitstream: pad group %d site unknown", p)
+		}
+		if pc.IsInput {
+			names.In[idx] = pc.Name
+		} else {
+			names.Out[idx] = pc.Name
+		}
+	}
+	return names, nil
+}
+
+// CircuitPadNames derives pad naming from an ordinary placed circuit.
+func CircuitPadNames(g *arch.Graph, c *lutnet.Circuit, cc place.CircuitCells, pl *place.Placement) (PadNames, error) {
+	names := PadNames{In: map[int]string{}, Out: map[int]string{}}
+	em := g.Arch.NewIOIndexer()
+	for i, nm := range c.PINames {
+		idx, ok := em[pl.SiteOf[cc.PICell(i)]]
+		if !ok {
+			return names, fmt.Errorf("bitstream: PI %d site unknown", i)
+		}
+		names.In[idx] = nm
+	}
+	for o, po := range c.POs {
+		idx, ok := em[pl.SiteOf[cc.POCell(o)]]
+		if !ok {
+			return names, fmt.Errorf("bitstream: PO %d site unknown", o)
+		}
+		names.Out[idx] = po.Name
+	}
+	return names, nil
+}

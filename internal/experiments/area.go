@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/flow"
+	"repro/internal/gen/firgen"
+	"repro/internal/lutnet"
+	"repro/internal/merge"
+	"repro/internal/netlist"
+)
+
+// AreaRow captures the §IV-C area observations for one suite: the
+// multi-mode region versus static side-by-side implementations.
+type AreaRow struct {
+	Suite string
+	// MultiModeCLBs is the region size shared by all modes (max mode).
+	MultiModeCLBs float64
+	// StaticCLBs is the summed size of the separate static
+	// implementations.
+	StaticCLBs float64
+	// Ratio = MultiModeCLBs / StaticCLBs (paper: ~50% for RegExp/MCNC).
+	Ratio float64
+}
+
+// AreaSavings computes the multi-mode vs static area ratio per suite,
+// averaged over the selected pairs.
+func AreaSavings(suites []*Suite) []AreaRow {
+	var rows []AreaRow
+	for _, s := range suites {
+		var mm, static float64
+		for _, p := range s.Pairs {
+			a := s.Circuits[p[0]].NumBlocks()
+			b := s.Circuits[p[1]].NumBlocks()
+			max := a
+			if b > max {
+				max = b
+			}
+			mm += float64(max)
+			static += float64(a + b)
+		}
+		rows = append(rows, AreaRow{
+			Suite:         s.Name,
+			MultiModeCLBs: mm / float64(len(s.Pairs)),
+			StaticCLBs:    static / float64(len(s.Pairs)),
+			Ratio:         mm / static,
+		})
+	}
+	return rows
+}
+
+// FIRGenericRatio reproduces the claim that a constant-coefficient filter
+// is ~3× smaller (the paper reports the adaptive filter needing only 33%
+// of the generic filter's area).
+func FIRGenericRatio(sc Scale) (constant, generic int, ratio float64, err error) {
+	cfg := flow.Config{PlaceEffort: sc.Effort, Seed: sc.Seed}
+	spec := firgen.DefaultSpec(firgen.LowPass, sc.Seed)
+	coeffs := firgen.Design(spec)
+	cn, err := firgen.Generate("fir-const", spec, coeffs)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	support := make([]bool, spec.Taps)
+	for i, c := range coeffs {
+		support[i] = c != 0
+	}
+	gn, err := firgen.GenerateGeneric("fir-generic", spec, support)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	mapped, err := flow.MapModes([]*netlist.Netlist{cn, gn}, cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	constant = mapped[0].NumBlocks()
+	generic = mapped[1].NumBlocks()
+	return constant, generic, float64(constant) / float64(generic), nil
+}
+
+// AblationResult compares merge strategies on one multi-mode pair.
+type AblationResult struct {
+	Name string
+	// Reconfiguration bits per strategy.
+	IdentityBits  int
+	EdgeMatchBits int
+	WireLenBits   int
+	// Wirelength ratio vs MDR per strategy.
+	IdentityWire  float64
+	EdgeMatchWire float64
+	WireLenWire   float64
+	// Diff decomposition (§IV-C1): total speed-up = RegionFactor ×
+	// MergeFactor.
+	RegionFactor float64 // MDR routing bits / differing routing bits
+	MergeFactor  float64 // differing routing bits / parameterised bits (WL)
+}
+
+// RunAblation evaluates the identity merge (no combined placement), edge
+// matching and wire-length optimisation on the first pair of a suite.
+func RunAblation(s *Suite, sc Scale) (*AblationResult, error) {
+	if len(s.Pairs) == 0 {
+		return nil, fmt.Errorf("experiments: suite %s has no pairs", s.Name)
+	}
+	cfg := s.config(sc)
+	p := s.Pairs[0]
+	modes := []*lutnet.Circuit{s.Circuits[p[0]], s.Circuits[p[1]]}
+	name := fmt.Sprintf("%s-abl", s.Name)
+
+	region, err := flow.SizeRegion(modes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// All four implementations must share one region; the identity merge
+	// routes worst, so widen until everything fits (same policy as
+	// flow.RunComparison).
+	var (
+		mdr        *flow.MDRResult
+		id, em, wl *flow.DCSResult
+	)
+	for attempt := 0; ; attempt++ {
+		mdr, err = flow.RunMDR(modes, region, cfg)
+		if err == nil {
+			id, err = flow.RunDCSIdentity(name, modes, region, cfg)
+		}
+		if err == nil {
+			em, err = flow.RunDCS(name, modes, region, merge.EdgeMatch, cfg)
+		}
+		if err == nil {
+			wl, err = flow.RunDCS(name, modes, region, merge.WireLength, cfg)
+		}
+		if err == nil {
+			break
+		}
+		if attempt >= 8 {
+			return nil, fmt.Errorf("experiments: ablation %s: %w", name, err)
+		}
+		region = flow.BuildRegion(region.Arch.Width, region.Arch.W+2)
+	}
+	res := &AblationResult{
+		Name:          name,
+		IdentityBits:  id.ReconfigBits,
+		EdgeMatchBits: em.ReconfigBits,
+		WireLenBits:   wl.ReconfigBits,
+		IdentityWire:  flow.WireRatio(mdr, id),
+		EdgeMatchWire: flow.WireRatio(mdr, em),
+		WireLenWire:   flow.WireRatio(mdr, wl),
+	}
+	if mdr.DiffRoutingBits > 0 {
+		res.RegionFactor = float64(region.Graph.NumRoutingBits) / float64(mdr.DiffRoutingBits)
+		res.MergeFactor = float64(mdr.DiffRoutingBits) / float64(wl.TRoute.ParamRoutingBits)
+	}
+	return res, nil
+}
+
+// RelaxAblation measures the effect of the 20% area/channel relaxation by
+// re-running one pair with no slack.
+type RelaxAblation struct {
+	RelaxedSpeedup float64
+	TightSpeedup   float64
+	RelaxedWire    float64
+	TightWire      float64
+}
+
+// RunRelaxAblation compares relax=1.2 (paper) against relax=1.0.
+func RunRelaxAblation(s *Suite, sc Scale) (*RelaxAblation, error) {
+	if len(s.Pairs) == 0 {
+		return nil, fmt.Errorf("experiments: suite %s has no pairs", s.Name)
+	}
+	run := func(relax float64) (float64, float64, error) {
+		cfg := s.config(sc)
+		cfg.RelaxArea = relax
+		cfg.RelaxW = relax
+		p := s.Pairs[0]
+		modes := []*lutnet.Circuit{s.Circuits[p[0]], s.Circuits[p[1]]}
+		cmp, err := flow.RunComparison("relax", modes, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		return flow.Speedup(cmp.MDR, cmp.WireLen), flow.WireRatio(cmp.MDR, cmp.WireLen), nil
+	}
+	rs, rw, err := run(1.2)
+	if err != nil {
+		return nil, err
+	}
+	ts, tw, err := run(1.0)
+	if err != nil {
+		return nil, err
+	}
+	return &RelaxAblation{RelaxedSpeedup: rs, TightSpeedup: ts, RelaxedWire: rw, TightWire: tw}, nil
+}

@@ -1,0 +1,352 @@
+// Package experiments reproduces the evaluation section of the paper:
+// Table I (benchmark sizes), Fig. 5 (reconfiguration speed-up), Fig. 6
+// (LUT/routing contribution breakdown), Fig. 7 (per-mode wirelength), the
+// §IV-C area observations, and the ablations discussed in the text. The
+// workloads are the three suites of §IV-A: regular-expression engines,
+// constant-coefficient FIR filters, and general (MCNC-style) circuits.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/flow"
+	"repro/internal/gen/firgen"
+	"repro/internal/gen/mcncgen"
+	"repro/internal/gen/regexgen"
+	"repro/internal/lutnet"
+	"repro/internal/netlist"
+)
+
+// Scale controls experiment size so the harness can run anywhere from a
+// smoke test to the full paper configuration.
+type Scale struct {
+	// PairsPerSuite caps the number of multi-mode circuits per suite
+	// (paper: 10). 0 means all.
+	PairsPerSuite int
+	// Effort is the annealing effort (paper-equivalent ≈ 1.0).
+	Effort float64
+	Seed   int64
+}
+
+// DefaultScale is a laptop-friendly configuration that preserves the
+// paper's qualitative results.
+func DefaultScale() Scale { return Scale{PairsPerSuite: 4, Effort: 0.25, Seed: 1} }
+
+// FullScale reproduces the paper's complete sweep (30 multi-mode pairs).
+func FullScale() Scale { return Scale{PairsPerSuite: 10, Effort: 0.5, Seed: 1} }
+
+// Suite is one benchmark family with its multi-mode combinations.
+type Suite struct {
+	Name     string
+	Circuits []*lutnet.Circuit
+	// Pairs lists mode-circuit index combinations forming multi-mode
+	// circuits.
+	Pairs [][2]int
+}
+
+func (s *Suite) config(sc Scale) flow.Config {
+	return flow.Config{PlaceEffort: sc.Effort, Seed: sc.Seed}
+}
+
+// BuildSuites generates the three benchmark suites of §IV-A.
+func BuildSuites(sc Scale) ([]*Suite, error) {
+	cfg := flow.Config{PlaceEffort: sc.Effort, Seed: sc.Seed}
+
+	// RegExp: 5 engines, all C(5,2)=10 combinations.
+	var regexNLs []*netlist.Netlist
+	for _, r := range regexgen.BleedingEdgeRules() {
+		n, err := regexgen.Generate(r.Name, r.Pattern, regexgen.Options{})
+		if err != nil {
+			return nil, err
+		}
+		regexNLs = append(regexNLs, n)
+	}
+	regexCircuits, err := flow.MapModes(regexNLs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	regexSuite := &Suite{Name: "RegExp", Circuits: regexCircuits, Pairs: allPairs(len(regexCircuits))}
+
+	// FIR: 10 low-pass + 10 high-pass; pair i combines LP_i with HP_i.
+	var firNLs []*netlist.Netlist
+	for i := 0; i < 10; i++ {
+		lp := firgen.DefaultSpec(firgen.LowPass, int64(i))
+		n, err := firgen.Generate(fmt.Sprintf("lp%d", i), lp, firgen.Design(lp))
+		if err != nil {
+			return nil, err
+		}
+		firNLs = append(firNLs, n)
+	}
+	for i := 0; i < 10; i++ {
+		hp := firgen.DefaultSpec(firgen.HighPass, int64(100+i))
+		n, err := firgen.Generate(fmt.Sprintf("hp%d", i), hp, firgen.Design(hp))
+		if err != nil {
+			return nil, err
+		}
+		firNLs = append(firNLs, n)
+	}
+	firCircuits, err := flow.MapModes(firNLs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	firSuite := &Suite{Name: "FIR", Circuits: firCircuits}
+	for i := 0; i < 10; i++ {
+		firSuite.Pairs = append(firSuite.Pairs, [2]int{i, 10 + i})
+	}
+
+	// MCNC-like: 5 synthetic circuits, all combinations.
+	var mcncNLs []*netlist.Netlist
+	for _, spec := range mcncgen.Suite() {
+		n, err := mcncgen.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		mcncNLs = append(mcncNLs, n)
+	}
+	mcncCircuits, err := flow.MapModes(mcncNLs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	mcncSuite := &Suite{Name: "MCNC", Circuits: mcncCircuits, Pairs: allPairs(len(mcncCircuits))}
+
+	suites := []*Suite{regexSuite, firSuite, mcncSuite}
+	for _, s := range suites {
+		if sc.PairsPerSuite > 0 && len(s.Pairs) > sc.PairsPerSuite {
+			s.Pairs = s.Pairs[:sc.PairsPerSuite]
+		}
+	}
+	return suites, nil
+}
+
+func allPairs(n int) [][2]int {
+	var out [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// SizeRow is one row of Table I.
+type SizeRow struct {
+	Suite         string
+	Min, Avg, Max int
+}
+
+// TableI computes the size statistics of every suite's mode circuits.
+func TableI(suites []*Suite) []SizeRow {
+	var rows []SizeRow
+	for _, s := range suites {
+		min, max, sum := math.MaxInt32, 0, 0
+		for _, c := range s.Circuits {
+			b := c.NumBlocks()
+			if b < min {
+				min = b
+			}
+			if b > max {
+				max = b
+			}
+			sum += b
+		}
+		rows = append(rows, SizeRow{Suite: s.Name, Min: min, Avg: sum / len(s.Circuits), Max: max})
+	}
+	return rows
+}
+
+// PairResult holds every metric of one multi-mode circuit's evaluation.
+type PairResult struct {
+	Suite, Name string
+	ModeLUTs    [2]int
+	Side, MinW  int
+	ChannelW    int
+
+	MDRBits  int
+	DiffBits int // Diff accounting (all LUT bits + differing routing bits)
+	EMBits   int // DCS edge matching
+	WLBits   int // DCS wire-length optimisation
+
+	// Routing-only cell counts for the Fig. 6 breakdown.
+	LUTBitsTotal    int
+	MDRRoutingBits  int
+	DiffRoutingBits int
+	EMRoutingBits   int
+	WLRoutingBits   int
+
+	SpeedupEM float64
+	SpeedupWL float64
+
+	WireMDR float64
+	WireEM  float64 // relative to MDR (1.0 = equal)
+	WireWL  float64
+}
+
+// RunPair evaluates one multi-mode circuit under MDR, DCS-EdgeMatch and
+// DCS-WireLength on a shared region.
+func RunPair(suite *Suite, pair [2]int, sc Scale) (*PairResult, error) {
+	cfg := suite.config(sc)
+	modes := []*lutnet.Circuit{suite.Circuits[pair[0]], suite.Circuits[pair[1]]}
+	name := fmt.Sprintf("%s-%d-%d", suite.Name, pair[0], pair[1])
+
+	cmp, err := flow.RunComparison(name, modes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	region, mdr, em, wl := cmp.Region, cmp.MDR, cmp.EdgeMatch, cmp.WireLen
+
+	res := &PairResult{
+		Suite:    suite.Name,
+		Name:     name,
+		ModeLUTs: [2]int{modes[0].NumBlocks(), modes[1].NumBlocks()},
+		Side:     region.Arch.Width,
+		MinW:     region.MinW,
+		ChannelW: region.Arch.W,
+
+		MDRBits:  mdr.ReconfigBits,
+		DiffBits: mdr.DiffReconfigBits(region.Arch),
+		EMBits:   em.ReconfigBits,
+		WLBits:   wl.ReconfigBits,
+
+		LUTBitsTotal:    region.Arch.TotalLUTBits(),
+		MDRRoutingBits:  region.Graph.NumRoutingBits,
+		DiffRoutingBits: mdr.DiffRoutingBits,
+		EMRoutingBits:   em.TRoute.ParamRoutingBits,
+		WLRoutingBits:   wl.TRoute.ParamRoutingBits,
+
+		SpeedupEM: flow.Speedup(mdr, em),
+		SpeedupWL: flow.Speedup(mdr, wl),
+
+		WireMDR: mdr.AvgWire,
+		WireEM:  flow.WireRatio(mdr, em),
+		WireWL:  flow.WireRatio(mdr, wl),
+	}
+	return res, nil
+}
+
+// RunSuite evaluates every selected pair of a suite.
+func RunSuite(s *Suite, sc Scale, progress func(string)) ([]*PairResult, error) {
+	var out []*PairResult
+	for _, p := range s.Pairs {
+		if progress != nil {
+			progress(fmt.Sprintf("%s pair (%d,%d)", s.Name, p[0], p[1]))
+		}
+		r, err := RunPair(s, p, sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Dist is a min/avg/max summary.
+type Dist struct {
+	Min, Avg, Max float64
+}
+
+func distOf(xs []float64) Dist {
+	if len(xs) == 0 {
+		return Dist{}
+	}
+	sorted := append([]float64{}, xs...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	return Dist{Min: sorted[0], Avg: sum / float64(len(sorted)), Max: sorted[len(sorted)-1]}
+}
+
+// Fig5Row is one suite's bar group of Fig. 5 (speed-up vs MDR).
+type Fig5Row struct {
+	Suite     string
+	EdgeMatch Dist
+	WireLen   Dist
+}
+
+// Fig5 summarises the reconfiguration speed-up per suite.
+func Fig5(results []*PairResult) []Fig5Row {
+	return groupBy(results, func(rs []*PairResult) Fig5Row {
+		var em, wl []float64
+		for _, r := range rs {
+			em = append(em, r.SpeedupEM)
+			wl = append(wl, r.SpeedupWL)
+		}
+		return Fig5Row{Suite: rs[0].Suite, EdgeMatch: distOf(em), WireLen: distOf(wl)}
+	})
+}
+
+// Fig6Bar is one bar of Fig. 6: the split of rewritten configuration bits
+// between LUTs and routing.
+type Fig6Bar struct {
+	Label       string
+	LUTBits     float64 // average
+	RoutingBits float64
+	LUTShare    float64 // fraction of the bar
+}
+
+// Fig6 computes the LUT/routing breakdown for the RegExp suite (the
+// paper's Fig. 6), with bars MDR, Diff and DCS (wire-length optimised).
+func Fig6(results []*PairResult, suite string) []Fig6Bar {
+	var lut, mdrR, diffR, dcsR []float64
+	for _, r := range results {
+		if r.Suite != suite {
+			continue
+		}
+		lut = append(lut, float64(r.LUTBitsTotal))
+		mdrR = append(mdrR, float64(r.MDRRoutingBits))
+		diffR = append(diffR, float64(r.DiffRoutingBits))
+		dcsR = append(dcsR, float64(r.WLRoutingBits))
+	}
+	mk := func(label string, routing []float64) Fig6Bar {
+		l := distOf(lut).Avg
+		rt := distOf(routing).Avg
+		share := 0.0
+		if l+rt > 0 {
+			share = l / (l + rt)
+		}
+		return Fig6Bar{Label: label, LUTBits: l, RoutingBits: rt, LUTShare: share}
+	}
+	return []Fig6Bar{
+		mk(suite+"-MDR", mdrR),
+		mk(suite+"-Diff", diffR),
+		mk(suite+"-DCS", dcsR),
+	}
+}
+
+// Fig7Row is one suite's bar group of Fig. 7 (wirelength relative to MDR).
+type Fig7Row struct {
+	Suite     string
+	EdgeMatch Dist
+	WireLen   Dist
+}
+
+// Fig7 summarises the per-mode wirelength ratios.
+func Fig7(results []*PairResult) []Fig7Row {
+	return groupBy(results, func(rs []*PairResult) Fig7Row {
+		var em, wl []float64
+		for _, r := range rs {
+			em = append(em, r.WireEM)
+			wl = append(wl, r.WireWL)
+		}
+		return Fig7Row{Suite: rs[0].Suite, EdgeMatch: distOf(em), WireLen: distOf(wl)}
+	})
+}
+
+func groupBy[T any](results []*PairResult, f func([]*PairResult) T) []T {
+	order := []string{}
+	groups := map[string][]*PairResult{}
+	for _, r := range results {
+		if _, ok := groups[r.Suite]; !ok {
+			order = append(order, r.Suite)
+		}
+		groups[r.Suite] = append(groups[r.Suite], r)
+	}
+	var out []T
+	for _, s := range order {
+		out = append(out, f(groups[s]))
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildSuitesShapes(t *testing.T) {
+	sc := Scale{PairsPerSuite: 2, Effort: 0.1, Seed: 1}
+	suites, err := BuildSuites(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suites) != 3 {
+		t.Fatalf("suites = %d, want 3", len(suites))
+	}
+	wantCircuits := map[string]int{"RegExp": 5, "FIR": 20, "MCNC": 5}
+	for _, s := range suites {
+		if len(s.Circuits) != wantCircuits[s.Name] {
+			t.Errorf("%s: %d circuits, want %d", s.Name, len(s.Circuits), wantCircuits[s.Name])
+		}
+		if len(s.Pairs) != 2 {
+			t.Errorf("%s: %d pairs, want 2 (capped)", s.Name, len(s.Pairs))
+		}
+		for _, p := range s.Pairs {
+			if p[0] < 0 || p[0] >= len(s.Circuits) || p[1] < 0 || p[1] >= len(s.Circuits) || p[0] == p[1] {
+				t.Errorf("%s: bad pair %v", s.Name, p)
+			}
+		}
+	}
+}
+
+func TestTableIMatchesPaperEnvelope(t *testing.T) {
+	suites, err := BuildSuites(Scale{PairsPerSuite: 1, Effort: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := TableI(suites)
+	// Paper Table I: RegExp 224/243/261, FIR 235/302/371, MCNC 264/310/404.
+	paper := map[string][3]int{
+		"RegExp": {224, 243, 261},
+		"FIR":    {235, 302, 371},
+		"MCNC":   {264, 310, 404},
+	}
+	for _, r := range rows {
+		want := paper[r.Suite]
+		// Calibration tolerance: ±20% on each statistic.
+		check := func(got, target int, label string) {
+			lo, hi := target*8/10, target*12/10
+			if got < lo || got > hi {
+				t.Errorf("%s %s = %d outside ±20%% of paper's %d", r.Suite, label, got, target)
+			}
+		}
+		check(r.Min, want[0], "min")
+		check(r.Avg, want[1], "avg")
+		check(r.Max, want[2], "max")
+	}
+}
+
+func TestAreaSavingsNearPaper(t *testing.T) {
+	suites, err := BuildSuites(Scale{PairsPerSuite: 4, Effort: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range AreaSavings(suites) {
+		// Two similar-size modes share one region: ratio near 50%.
+		if row.Ratio < 0.40 || row.Ratio > 0.62 {
+			t.Errorf("%s area ratio %.2f outside the ~50%% envelope", row.Suite, row.Ratio)
+		}
+	}
+}
+
+func TestFIRGenericRatioNearPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	c, g, ratio, err := FIRGenericRatio(Scale{Effort: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 || g <= c {
+		t.Fatalf("sizes: const %d generic %d", c, g)
+	}
+	// Paper: constant filter ≈ 33% of the generic one.
+	if ratio < 0.15 || ratio > 0.55 {
+		t.Errorf("constant/generic ratio %.2f far from paper's ~0.33", ratio)
+	}
+}
+
+func TestDistOf(t *testing.T) {
+	d := distOf([]float64{3, 1, 2})
+	if d.Min != 1 || d.Max != 3 || d.Avg != 2 {
+		t.Errorf("distOf = %+v", d)
+	}
+}
+
+func TestRunPairFullMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: full pair takes ~30s")
+	}
+	sc := Scale{PairsPerSuite: 1, Effort: 0.12, Seed: 1}
+	suites, err := BuildSuites(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FIR pairs are the smallest/quickest.
+	var fir *Suite
+	for _, s := range suites {
+		if s.Name == "FIR" {
+			fir = s
+		}
+	}
+	r, err := RunPair(fir, fir.Pairs[0], sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SpeedupWL <= 1 || r.SpeedupEM <= 1 {
+		t.Errorf("speed-ups not above 1: EM=%.2f WL=%.2f", r.SpeedupEM, r.SpeedupWL)
+	}
+	if r.WLBits >= r.MDRBits || r.EMBits >= r.MDRBits {
+		t.Errorf("DCS bits not below MDR: %d/%d vs %d", r.WLBits, r.EMBits, r.MDRBits)
+	}
+	if r.DiffBits >= r.MDRBits {
+		t.Errorf("Diff bits %d not below MDR %d", r.DiffBits, r.MDRBits)
+	}
+	if r.WireWL <= 0 || r.WireEM <= 0 {
+		t.Errorf("wire ratios: EM=%.2f WL=%.2f", r.WireEM, r.WireWL)
+	}
+	// Reports must render.
+	var sb strings.Builder
+	PrintPair(&sb, r)
+	PrintFig5(&sb, Fig5([]*PairResult{r}))
+	PrintFig6(&sb, Fig6([]*PairResult{r}, "FIR"))
+	PrintFig7(&sb, Fig7([]*PairResult{r}))
+	if !strings.Contains(sb.String(), "FIR") {
+		t.Error("report rendering broken")
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/flow"
+	"repro/internal/frames"
+	"repro/internal/lutnet"
+)
+
+// FrameResult is the frame-granularity analysis of one multi-mode pair —
+// the paper's §IV-C1 outlook ("we expect the speed up of routing
+// reconfiguration time to be roughly between 4× and 20×").
+type FrameResult struct {
+	Suite       string
+	FrameSize   int
+	TotalFrames int
+	DiffFrames  int // frames containing bits that differ between MDR configs
+	ParamFrames int // frames containing parameterised DCS bits
+
+	// Routing-reconfiguration speed-ups at the three granularities.
+	BitSpeedup   float64 // routing bits: MDR all vs DCS parameterised
+	FrameSpeedup float64 // frames: all vs parameterised-touched
+	DiffSpeedup  float64 // frames: all vs differing-touched (MDR w/ frames)
+}
+
+// RunFrames evaluates the frame model on the first pair of a suite.
+func RunFrames(s *Suite, sc Scale, frameSize int) (*FrameResult, error) {
+	if len(s.Pairs) == 0 {
+		return nil, fmt.Errorf("experiments: suite %s has no pairs", s.Name)
+	}
+	cfg := s.config(sc)
+	p := s.Pairs[0]
+	modes := []*lutnet.Circuit{s.Circuits[p[0]], s.Circuits[p[1]]}
+	cmp, err := flow.RunComparison(s.Name+"-frames", modes, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Bits that differ between the MDR configurations of the modes.
+	onCount := map[int32]int{}
+	for _, m := range cmp.MDR.PerMode {
+		for b := range m.UsedBits {
+			onCount[b]++
+		}
+	}
+	var diffBits []int32
+	for b, c := range onCount {
+		if c != len(cmp.MDR.PerMode) {
+			diffBits = append(diffBits, b)
+		}
+	}
+
+	rep := frames.Analyze(cmp.Region.Graph, frameSize, diffBits,
+		cmp.WireLen.TRoute.BitModes, len(modes))
+	res := &FrameResult{
+		Suite:        s.Name,
+		FrameSize:    rep.FrameSize,
+		TotalFrames:  rep.TotalFrames,
+		DiffFrames:   rep.DiffFrames,
+		ParamFrames:  rep.ParamFrames,
+		FrameSpeedup: rep.SpeedupDCS,
+		DiffSpeedup:  rep.SpeedupDiff,
+	}
+	if pr := cmp.WireLen.TRoute.ParamRoutingBits; pr > 0 {
+		res.BitSpeedup = float64(cmp.Region.Graph.NumRoutingBits) / float64(pr)
+	}
+	return res, nil
+}
+
+// PrintFrames writes the frame-granularity outlook table.
+func PrintFrames(w io.Writer, rows []*FrameResult) {
+	fmt.Fprintln(w, "Frame-granularity outlook (SIV-C1): routing reconfiguration speed-up")
+	fmt.Fprintln(w, "when only frames containing rewritten bits are reconfigured")
+	fmt.Fprintf(w, "%-8s %6s %8s %8s %8s %10s %10s %10s\n",
+		"", "fsize", "frames", "diff", "param", "bit-level", "frame-DCS", "frame-Diff")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %6d %8d %8d %8d %9.1fx %9.1fx %9.1fx\n",
+			r.Suite, r.FrameSize, r.TotalFrames, r.DiffFrames, r.ParamFrames,
+			r.BitSpeedup, r.FrameSpeedup, r.DiffSpeedup)
+	}
+	fmt.Fprintln(w, "(paper predicts the frame-level routing speed-up lands between ~4x and ~20x)")
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// PrintTableI writes Table I in the paper's layout.
+func PrintTableI(w io.Writer, rows []SizeRow) {
+	fmt.Fprintln(w, "TABLE I: Size of the LUT circuits used in the experiments.")
+	fmt.Fprintf(w, "%-8s %8s %8s %8s\n", "", "Minimum", "Average", "Maximum")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %8d %8d %8d\n", r.Suite, r.Min, r.Avg, r.Max)
+	}
+}
+
+// PrintFig5 writes the reconfiguration speed-up series of Fig. 5.
+func PrintFig5(w io.Writer, rows []Fig5Row) {
+	fmt.Fprintln(w, "Fig. 5: Reconfiguration speed up of DCS compared to MDR (MDR = 1.0x).")
+	fmt.Fprintf(w, "%-8s %28s %28s\n", "", "DCS-Edge matching", "DCS-Wire length")
+	fmt.Fprintf(w, "%-8s %8s %9s %9s %8s %9s %9s\n", "", "min", "avg", "max", "min", "avg", "max")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %7.2fx %8.2fx %8.2fx %7.2fx %8.2fx %8.2fx\n",
+			r.Suite,
+			r.EdgeMatch.Min, r.EdgeMatch.Avg, r.EdgeMatch.Max,
+			r.WireLen.Min, r.WireLen.Avg, r.WireLen.Max)
+	}
+}
+
+// PrintFig6 writes the LUT/routing contribution breakdown of Fig. 6.
+func PrintFig6(w io.Writer, bars []Fig6Bar) {
+	fmt.Fprintln(w, "Fig. 6: Relative contribution of LUTs and routing in the reconfiguration time.")
+	fmt.Fprintf(w, "%-14s %12s %14s %10s %10s\n", "", "LUT bits", "routing bits", "LUT %", "routing %")
+	for _, b := range bars {
+		fmt.Fprintf(w, "%-14s %12.0f %14.0f %9.1f%% %9.1f%%\n",
+			b.Label, b.LUTBits, b.RoutingBits, 100*b.LUTShare, 100*(1-b.LUTShare))
+	}
+}
+
+// PrintFig7 writes the wirelength series of Fig. 7.
+func PrintFig7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintln(w, "Fig. 7: Number of wires relative to MDR (MDR = 100%).")
+	fmt.Fprintf(w, "%-8s %28s %28s\n", "", "DCS-Edge matching", "DCS-Wire length")
+	fmt.Fprintf(w, "%-8s %8s %9s %9s %8s %9s %9s\n", "", "min", "avg", "max", "min", "avg", "max")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %7.0f%% %8.0f%% %8.0f%% %7.0f%% %8.0f%% %8.0f%%\n",
+			r.Suite,
+			100*r.EdgeMatch.Min, 100*r.EdgeMatch.Avg, 100*r.EdgeMatch.Max,
+			100*r.WireLen.Min, 100*r.WireLen.Avg, 100*r.WireLen.Max)
+	}
+}
+
+// PrintArea writes the §IV-C area observations.
+func PrintArea(w io.Writer, rows []AreaRow, firConst, firGeneric int, firRatio float64) {
+	fmt.Fprintln(w, "Area (SIV-C): multi-mode region vs static side-by-side implementation.")
+	fmt.Fprintf(w, "%-8s %14s %14s %8s\n", "", "multi-mode", "static sum", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %14.0f %14.0f %7.0f%%\n", r.Suite, r.MultiModeCLBs, r.StaticCLBs, 100*r.Ratio)
+	}
+	fmt.Fprintf(w, "FIR constant vs generic filter: %d vs %d LUTs (%.0f%% of generic; paper: ~33%%)\n",
+		firConst, firGeneric, 100*firRatio)
+}
+
+// PrintPair writes one pair's detailed metrics.
+func PrintPair(w io.Writer, r *PairResult) {
+	fmt.Fprintf(w, "%-18s modes %4d/%4d LUTs  grid %2dx%-2d W=%2d (min %2d)  "+
+		"bits MDR=%d Diff=%d EM=%d WL=%d  speedup EM=%.2fx WL=%.2fx  wire EM=%.0f%% WL=%.0f%%\n",
+		r.Name, r.ModeLUTs[0], r.ModeLUTs[1], r.Side, r.Side, r.ChannelW, r.MinW,
+		r.MDRBits, r.DiffBits, r.EMBits, r.WLBits,
+		r.SpeedupEM, r.SpeedupWL, 100*r.WireEM, 100*r.WireWL)
+}
+
+// PrintAblation writes the merge-strategy ablation.
+func PrintAblation(w io.Writer, a *AblationResult) {
+	fmt.Fprintf(w, "Ablation %s:\n", a.Name)
+	fmt.Fprintf(w, "  reconfig bits: identity=%d edge-match=%d wire-length=%d\n",
+		a.IdentityBits, a.EdgeMatchBits, a.WireLenBits)
+	fmt.Fprintf(w, "  wire vs MDR:   identity=%.0f%% edge-match=%.0f%% wire-length=%.0f%%\n",
+		100*a.IdentityWire, 100*a.EdgeMatchWire, 100*a.WireLenWire)
+	fmt.Fprintf(w, "  Diff decomposition: region factor %.1fx × merge factor %.1fx\n",
+		a.RegionFactor, a.MergeFactor)
+}

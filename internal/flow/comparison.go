@@ -1,0 +1,51 @@
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/lutnet"
+	"repro/internal/merge"
+)
+
+// Comparison bundles the three implementations of one multi-mode circuit
+// on a shared reconfigurable region: the MDR baseline and the DCS flow
+// under both combined-placement objectives.
+type Comparison struct {
+	Region    *Region
+	MDR       *MDRResult
+	EdgeMatch *DCSResult
+	WireLen   *DCSResult
+}
+
+// RunComparison sizes a shared region and implements the modes under MDR,
+// DCS-EdgeMatch and DCS-WireLength. The Tunable circuit can need a few
+// more tracks than the single-mode minimum (its placement compromises
+// between modes), so the common region is widened until all three flows
+// route — keeping MDR and DCS on identical hardware for fair bit
+// accounting.
+func RunComparison(name string, modes []*lutnet.Circuit, cfg Config) (*Comparison, error) {
+	cfg = cfg.filled()
+	region, err := SizeRegion(modes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	minW := region.MinW
+	for attempt := 0; ; attempt++ {
+		cmp := &Comparison{Region: region}
+		cmp.MDR, err = RunMDR(modes, region, cfg)
+		if err == nil {
+			cmp.EdgeMatch, err = RunDCS(name, modes, region, merge.EdgeMatch, cfg)
+		}
+		if err == nil {
+			cmp.WireLen, err = RunDCS(name, modes, region, merge.WireLength, cfg)
+		}
+		if err == nil {
+			region.MinW = minW
+			return cmp, nil
+		}
+		if attempt >= 6 {
+			return nil, fmt.Errorf("flow: %s: %w", name, err)
+		}
+		region = BuildRegion(region.Arch.Width, region.Arch.W+2)
+	}
+}

@@ -1,0 +1,294 @@
+// Package flow orchestrates the two tool flows the paper compares on a
+// shared reconfigurable region:
+//
+//   - MDR (Modular Dynamic Reconfiguration): every mode is placed and
+//     routed separately; a mode switch rewrites the entire region.
+//   - DCS (the paper's flow): the modes are merged by combined placement
+//     into a Tunable circuit, placed (TPlace) and routed (TRoute) once; a
+//     mode switch rewrites only the parameterised bits (plus, by the
+//     paper's conservative convention, all LUT bits).
+//
+// The package also performs region sizing (area and channel width 20%
+// above minimum, as in the paper) and computes every metric the evaluation
+// section reports: reconfiguration bits, the Diff analysis bar, and
+// per-mode wirelength.
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/lutnet"
+	"repro/internal/merge"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/synth"
+	"repro/internal/techmap"
+	"repro/internal/troute"
+)
+
+// Config tunes the flows.
+type Config struct {
+	K           int     // LUT size (default 4)
+	RelaxArea   float64 // region area relaxation (default 1.2)
+	RelaxW      float64 // channel-width relaxation (default 1.2)
+	PlaceEffort float64 // SA effort (default 1.0)
+	Seed        int64
+	RouteOpts   route.Options
+}
+
+func (c Config) filled() Config {
+	if c.K == 0 {
+		c.K = 4
+	}
+	if c.RelaxArea == 0 {
+		c.RelaxArea = 1.2
+	}
+	if c.RelaxW == 0 {
+		c.RelaxW = 1.2
+	}
+	if c.PlaceEffort == 0 {
+		c.PlaceEffort = 1.0
+	}
+	// Gentler PathFinder settings than the package defaults: Tunable
+	// circuits of dissimilar modes route close to the region's capacity,
+	// where a slowly growing present-congestion factor converges and a
+	// fast one oscillates.
+	if c.RouteOpts.MaxIters == 0 {
+		c.RouteOpts.MaxIters = 90
+	}
+	if c.RouteOpts.PresFacMult == 0 {
+		c.RouteOpts.PresFacMult = 1.4
+	}
+	return c
+}
+
+// MapModes runs the front-end (synthesis clean-up plus technology mapping)
+// on every mode description.
+func MapModes(modes []*netlist.Netlist, cfg Config) ([]*lutnet.Circuit, error) {
+	cfg = cfg.filled()
+	out := make([]*lutnet.Circuit, len(modes))
+	for i, n := range modes {
+		opt := synth.Optimize(n)
+		c, err := techmap.Map(opt, cfg.K)
+		if err != nil {
+			return nil, fmt.Errorf("flow: mode %q: %w", n.Name, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Region is the shared reconfigurable region: architecture plus its
+// routing-resource graph.
+type Region struct {
+	Arch  arch.Arch
+	Graph *arch.Graph
+	// MinW is the minimum routable channel width found during sizing.
+	MinW int
+}
+
+// SizeRegion chooses the region: the square logic array fits the biggest
+// mode with 20% area slack, and the channel width is 20% above the minimum
+// width at which every mode routes individually.
+func SizeRegion(modes []*lutnet.Circuit, cfg Config) (*Region, error) {
+	cfg = cfg.filled()
+	maxBlocks, maxIO := 0, 0
+	for _, c := range modes {
+		if c.NumBlocks() > maxBlocks {
+			maxBlocks = c.NumBlocks()
+		}
+		if io := c.NumPIs() + len(c.POs); io > maxIO {
+			maxIO = io
+		}
+	}
+	if maxBlocks == 0 {
+		return nil, fmt.Errorf("flow: empty modes")
+	}
+	side := arch.MinGridForBlocks(maxBlocks, maxIO, cfg.RelaxArea)
+
+	// Find the minimum channel width by bisection: W is routable when every
+	// mode places and routes on the region.
+	routable := func(w int) bool {
+		a := arch.New(side, side, w)
+		g := arch.BuildGraph(a)
+		for mi, c := range modes {
+			pl, cc, err := placeCircuit(c, a, cfg, int64(mi))
+			if err != nil {
+				return false
+			}
+			nets, err := route.NetsForPlacedCircuit(g, c, cc, pl)
+			if err != nil {
+				return false
+			}
+			ro := cfg.RouteOpts
+			ro.MaxIters = 24
+			if _, err := route.Route(g, nets, ro); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	lo, hi := 2, 4
+	for !routable(hi) {
+		lo = hi + 1
+		hi *= 2
+		if hi > 128 {
+			return nil, fmt.Errorf("flow: unroutable even at channel width %d", hi)
+		}
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if routable(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	minW := hi
+	w := int(float64(minW)*cfg.RelaxW + 0.999)
+	region := BuildRegion(side, w)
+	region.MinW = minW
+	return region, nil
+}
+
+// BuildRegion constructs a region with an explicit logic-array side and
+// channel width (used when a caller must widen the region, e.g. when the
+// Tunable circuit needs more tracks than the single-mode minimum).
+func BuildRegion(side, w int) *Region {
+	a := arch.New(side, side, w)
+	return &Region{Arch: a, Graph: arch.BuildGraph(a), MinW: w}
+}
+
+func placeCircuit(c *lutnet.Circuit, a arch.Arch, cfg Config, seedOffset int64) (*place.Placement, place.CircuitCells, error) {
+	prob, cc := place.FromCircuit(c)
+	pl, err := place.Place(prob, a, place.Options{Seed: cfg.Seed + seedOffset, Effort: cfg.PlaceEffort})
+	if err != nil {
+		return nil, cc, err
+	}
+	return pl, cc, nil
+}
+
+// ModeImpl is one mode's separate implementation under MDR.
+type ModeImpl struct {
+	Placement *place.Placement
+	Routing   *route.Result
+	WireLen   int
+	UsedBits  map[int32]bool
+}
+
+// MDRResult aggregates the Modular Dynamic Reconfiguration baseline.
+type MDRResult struct {
+	PerMode []ModeImpl
+	// ReconfigBits: a mode switch rewrites the whole region.
+	ReconfigBits int
+	// DiffRoutingBits counts routing bits whose configured value differs
+	// between modes (the paper's RegExp-Diff analysis bar).
+	DiffRoutingBits int
+	// AvgWire is the average per-mode wire usage.
+	AvgWire float64
+}
+
+// RunMDR implements every mode separately in the region.
+func RunMDR(modes []*lutnet.Circuit, region *Region, cfg Config) (*MDRResult, error) {
+	cfg = cfg.filled()
+	res := &MDRResult{ReconfigBits: region.Graph.TotalConfigBits()}
+	bitCount := map[int32]int{} // bit -> number of modes where on
+	for mi, c := range modes {
+		pl, cc, err := placeCircuit(c, region.Arch, cfg, int64(mi))
+		if err != nil {
+			return nil, fmt.Errorf("flow: MDR mode %d: %w", mi, err)
+		}
+		nets, err := route.NetsForPlacedCircuit(region.Graph, c, cc, pl)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := route.Route(region.Graph, nets, cfg.RouteOpts)
+		if err != nil {
+			return nil, fmt.Errorf("flow: MDR mode %d: %w", mi, err)
+		}
+		used := route.UsedBits(region.Graph, rr.Trees)
+		for b := range used {
+			bitCount[b]++
+		}
+		wl := route.TotalWireLength(region.Graph, rr)
+		res.PerMode = append(res.PerMode, ModeImpl{Placement: pl, Routing: rr, WireLen: wl, UsedBits: used})
+		res.AvgWire += float64(wl)
+	}
+	res.AvgWire /= float64(len(modes))
+	for _, cnt := range bitCount {
+		if cnt != len(modes) {
+			res.DiffRoutingBits++ // on in some but not all modes
+		}
+	}
+	return res, nil
+}
+
+// DiffReconfigBits is the Diff accounting: all LUT bits plus only the
+// differing routing bits.
+func (r *MDRResult) DiffReconfigBits(a arch.Arch) int {
+	return a.TotalLUTBits() + r.DiffRoutingBits
+}
+
+// DCSResult aggregates the paper's flow.
+type DCSResult struct {
+	Merge  *merge.Result
+	TRoute *troute.Result
+	// ReconfigBits: all LUT bits + parameterised routing bits.
+	ReconfigBits int
+	// AvgWire is the average per-mode wire usage of the Tunable circuit.
+	AvgWire float64
+	// TPlaceCost is the placement cost of the Tunable circuit.
+	TPlaceCost float64
+}
+
+// RunDCS merges the modes with combined placement (using the given
+// objective), places the Tunable circuit with TPlace and routes it with
+// TRoute.
+func RunDCS(name string, modes []*lutnet.Circuit, region *Region, obj merge.Objective, cfg Config) (*DCSResult, error) {
+	cfg = cfg.filled()
+	mres, err := merge.CombinedPlace(name, modes, region.Arch, merge.Options{
+		Seed: cfg.Seed, Effort: cfg.PlaceEffort, Objective: obj,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// TPlace: refine the combined placement of the Tunable circuit (the
+	// topology is fixed now), then route.
+	lutSites, padSites, tpCost, err := TPlace(mres.Tunable, region.Arch, cfg, mres.LUTSite, mres.PadSite)
+	if err != nil {
+		return nil, err
+	}
+	ro := cfg.RouteOpts
+	tr, err := troute.RouteTunable(region.Graph, mres.Tunable, lutSites, padSites, ro)
+	if err != nil {
+		return nil, err
+	}
+	res := &DCSResult{
+		Merge:        mres,
+		TRoute:       tr,
+		ReconfigBits: tr.ReconfigBits(region.Arch),
+		TPlaceCost:   tpCost,
+	}
+	for _, w := range tr.PerModeWire {
+		res.AvgWire += float64(w)
+	}
+	res.AvgWire /= float64(len(tr.PerModeWire))
+	return res, nil
+}
+
+// Speedup returns MDR reconfiguration bits over DCS reconfiguration bits
+// (reconfiguration time is proportional to bits rewritten).
+func Speedup(mdr *MDRResult, dcs *DCSResult) float64 {
+	return float64(mdr.ReconfigBits) / float64(dcs.ReconfigBits)
+}
+
+// WireRatio returns the DCS average per-mode wirelength relative to MDR.
+func WireRatio(mdr *MDRResult, dcs *DCSResult) float64 {
+	if mdr.AvgWire == 0 {
+		return 1
+	}
+	return dcs.AvgWire / mdr.AvgWire
+}

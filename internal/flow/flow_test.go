@@ -1,0 +1,167 @@
+package flow
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/merge"
+	"repro/internal/netlist"
+)
+
+// buildPair creates two related small sequential netlists (same generator
+// family, different seeds) — a miniature multi-mode circuit.
+func buildPair(t *testing.T, seedA, seedB int64, nGates int) []*netlist.Netlist {
+	t.Helper()
+	mk := func(seed int64) *netlist.Netlist {
+		rng := rand.New(rand.NewSource(seed))
+		b := netlist.NewBuilder(fmt.Sprintf("mode%d", seed))
+		sigs := b.InputVector("in", 4)
+		for i := 0; i < nGates; i++ {
+			x := sigs[rng.Intn(len(sigs))]
+			y := sigs[rng.Intn(len(sigs))]
+			var s int
+			switch rng.Intn(5) {
+			case 0:
+				s = b.And(x, y)
+			case 1:
+				s = b.Or(x, y)
+			case 2:
+				s = b.Xor(x, y)
+			case 3:
+				s = b.Not(x)
+			default:
+				s = b.Latch(x, false)
+			}
+			sigs = append(sigs, s)
+		}
+		for i := 0; i < 3; i++ {
+			b.Output(fmt.Sprintf("o[%d]", i), sigs[len(sigs)-1-i])
+		}
+		return b.N
+	}
+	return []*netlist.Netlist{mk(seedA), mk(seedB)}
+}
+
+func testConfig() Config {
+	return Config{PlaceEffort: 0.25, Seed: 1}
+}
+
+func TestFullFlowEndToEnd(t *testing.T) {
+	cfg := testConfig()
+	mapped, err := MapModes(buildPair(t, 1, 2, 35), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := SizeRegion(mapped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.MinW < 2 {
+		t.Errorf("suspicious minimum channel width %d", region.MinW)
+	}
+	if region.Arch.W < region.MinW {
+		t.Errorf("relaxed width %d below minimum %d", region.Arch.W, region.MinW)
+	}
+
+	mdr, err := RunMDR(mapped, region, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mdr.ReconfigBits != region.Graph.TotalConfigBits() {
+		t.Errorf("MDR must rewrite the whole region")
+	}
+	if mdr.DiffRoutingBits <= 0 {
+		t.Errorf("different modes must differ in some routing bits")
+	}
+	if mdr.AvgWire <= 0 {
+		t.Errorf("MDR wirelength zero")
+	}
+
+	for _, obj := range []merge.Objective{merge.WireLength, merge.EdgeMatch} {
+		dcs, err := RunDCS("mm", mapped, region, obj, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", obj, err)
+		}
+		if dcs.ReconfigBits >= mdr.ReconfigBits {
+			t.Errorf("%v: DCS bits %d not below MDR bits %d", obj, dcs.ReconfigBits, mdr.ReconfigBits)
+		}
+		if sp := Speedup(mdr, dcs); sp <= 1 {
+			t.Errorf("%v: speedup %.2f not above 1", obj, sp)
+		}
+		// The parameterised bits must be fewer than the Diff bits would
+		// suggest only in favourable cases; but they can never exceed all
+		// routing bits.
+		if dcs.TRoute.ParamRoutingBits > region.Graph.NumRoutingBits {
+			t.Errorf("%v: parameterised bits exceed total routing bits", obj)
+		}
+		if dcs.AvgWire <= 0 {
+			t.Errorf("%v: DCS wirelength zero", obj)
+		}
+	}
+}
+
+func TestDCSModesStillEquivalent(t *testing.T) {
+	// After the whole flow, the Tunable circuit must still implement every
+	// mode exactly.
+	cfg := testConfig()
+	nls := buildPair(t, 3, 4, 30)
+	mapped, err := MapModes(nls, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := SizeRegion(mapped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcs, err := RunDCS("mm", mapped, region, merge.WireLength, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range mapped {
+		got, err := dcs.Merge.Tunable.ExtractMode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare against the ORIGINAL netlist (through synth+map) to cover
+		// the full pipeline.
+		sa := netlist.NewSimulator(nls[m])
+		sb, err := newLutSim(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(m + 50)))
+		for cyc := 0; cyc < 40; cyc++ {
+			in := map[string]bool{}
+			for _, nm := range sa.InputNames() {
+				in[nm] = rng.Intn(2) == 0
+			}
+			oa := sa.Step(in)
+			ob := sb.Step(in)
+			for k, v := range oa {
+				if ob[k] != v {
+					t.Fatalf("mode %d cycle %d output %s differs", m, cyc, k)
+				}
+			}
+		}
+	}
+}
+
+func TestSpeedupAccounting(t *testing.T) {
+	mdr := &MDRResult{ReconfigBits: 1000}
+	dcs := &DCSResult{ReconfigBits: 200}
+	if sp := Speedup(mdr, dcs); sp != 5 {
+		t.Errorf("Speedup = %v, want 5", sp)
+	}
+	mdr.AvgWire, dcs.AvgWire = 100, 124
+	if wr := WireRatio(mdr, dcs); wr != 1.24 {
+		t.Errorf("WireRatio = %v, want 1.24", wr)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.filled()
+	if c.K != 4 || c.RelaxArea != 1.2 || c.RelaxW != 1.2 || c.PlaceEffort != 1.0 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+}

@@ -1,0 +1,8 @@
+package flow
+
+import "repro/internal/lutnet"
+
+// newLutSim is a tiny indirection so tests read naturally.
+func newLutSim(c *lutnet.Circuit) (*lutnet.Simulator, error) {
+	return lutnet.NewSimulator(c)
+}

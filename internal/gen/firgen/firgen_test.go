@@ -1,0 +1,213 @@
+package firgen
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/synth"
+	"repro/internal/techmap"
+)
+
+func TestCSDDecomposition(t *testing.T) {
+	for c := 1; c <= 300; c++ {
+		sum := 0
+		for _, d := range csd(c) {
+			v := 1 << uint(d.Shift)
+			if d.Neg {
+				sum -= v
+			} else {
+				sum += v
+			}
+		}
+		if sum != c {
+			t.Fatalf("csd(%d) sums to %d", c, sum)
+		}
+		// CSD property: no two adjacent digits.
+		digits := csd(c)
+		for i := 1; i < len(digits); i++ {
+			if digits[i].Shift == digits[i-1].Shift+1 {
+				t.Errorf("csd(%d): adjacent digits at shifts %d,%d", c, digits[i-1].Shift, digits[i].Shift)
+			}
+		}
+	}
+}
+
+func TestDesignProperties(t *testing.T) {
+	for _, kind := range []Kind{LowPass, HighPass} {
+		for seed := int64(0); seed < 10; seed++ {
+			s := DefaultSpec(kind, seed)
+			c := Design(s)
+			if len(c) != s.Taps {
+				t.Fatalf("%v seed %d: %d taps", kind, seed, len(c))
+			}
+			nz := 0
+			limit := 1 << uint(s.CoeffBits-1)
+			for _, v := range c {
+				if v != 0 {
+					nz++
+				}
+				if v < -limit || v >= limit {
+					t.Fatalf("%v: coefficient %d out of %d-bit range", kind, v, s.CoeffBits)
+				}
+			}
+			if nz != s.NonZero {
+				t.Errorf("%v seed %d: %d non-zero coefficients, want %d", kind, seed, nz, s.NonZero)
+			}
+		}
+	}
+}
+
+func TestDesignDeterministic(t *testing.T) {
+	a := Design(DefaultSpec(LowPass, 3))
+	b := Design(DefaultSpec(LowPass, 3))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different designs")
+		}
+	}
+}
+
+// simulateFilter drives the circuit with samples and returns outputs.
+func simulateFilter(t *testing.T, n *netlist.Netlist, s Spec, samples []int) []int {
+	t.Helper()
+	sim := netlist.NewSimulator(n)
+	w := s.OutputBits()
+	var outs []int
+	for _, x := range samples {
+		in := map[string]bool{}
+		for i := 0; i < s.InputBits; i++ {
+			in[fmt.Sprintf("x[%d]", i)] = x>>uint(i)&1 == 1
+		}
+		out := sim.Step(in)
+		v := 0
+		for i := 0; i < w; i++ {
+			if out[fmt.Sprintf("y[%d]", i)] {
+				v |= 1 << uint(i)
+			}
+		}
+		if v >= 1<<uint(w-1) {
+			v -= 1 << uint(w)
+		}
+		outs = append(outs, v)
+	}
+	return outs
+}
+
+func TestFilterMatchesReference(t *testing.T) {
+	s := Spec{Kind: LowPass, Taps: 8, NonZero: 4, Cutoff: 0.25, CoeffBits: 6, InputBits: 5, Seed: 1}
+	coeffs := Design(s)
+	n, err := Generate("fir", s, coeffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var samples []int
+	for i := 0; i < 50; i++ {
+		samples = append(samples, rng.Intn(1<<uint(s.InputBits-1))-(1<<uint(s.InputBits-2)))
+	}
+	// The output register delays the response by one cycle.
+	got := simulateFilter(t, n, s, samples)
+	want := Reference(coeffs, samples, s.OutputBits())
+	for i := 1; i < len(samples); i++ {
+		if got[i] != want[i-1] {
+			t.Fatalf("sample %d: circuit %d, reference %d", i, got[i], want[i-1])
+		}
+	}
+}
+
+func TestFilterMatchesReferenceAfterSynthesis(t *testing.T) {
+	s := Spec{Kind: HighPass, Taps: 8, NonZero: 4, Cutoff: 0.2, CoeffBits: 6, InputBits: 5, Seed: 3}
+	coeffs := Design(s)
+	n, err := Generate("fir", s, coeffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := synth.Optimize(n)
+	rng := rand.New(rand.NewSource(4))
+	var samples []int
+	for i := 0; i < 40; i++ {
+		samples = append(samples, rng.Intn(1<<uint(s.InputBits))-(1<<uint(s.InputBits-1)))
+	}
+	got := simulateFilter(t, opt, s, samples)
+	want := Reference(coeffs, samples, s.OutputBits())
+	for i := 1; i < len(samples); i++ {
+		if got[i] != want[i-1] {
+			t.Fatalf("sample %d: synthesised %d, reference %d", i, got[i], want[i-1])
+		}
+	}
+}
+
+func TestNegativeCoefficients(t *testing.T) {
+	s := Spec{Kind: LowPass, Taps: 4, NonZero: 4, Cutoff: 0.3, CoeffBits: 5, InputBits: 4, Seed: 5}
+	coeffs := []int{-7, 3, -1, 5}
+	n, err := Generate("neg", s, coeffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := []int{1, -2, 3, -4, 5, 0, 7, -8}
+	got := simulateFilter(t, n, s, samples)
+	want := Reference(coeffs, samples, s.OutputBits())
+	for i := 1; i < len(samples); i++ {
+		if got[i] != want[i-1] {
+			t.Fatalf("sample %d: circuit %d, reference %d", i, got[i], want[i-1])
+		}
+	}
+}
+
+func TestConstantFilterSmallerThanGeneric(t *testing.T) {
+	// The paper: the constant-propagated filter is ~3× smaller than the
+	// generic filter.
+	s := Spec{Kind: LowPass, Taps: 12, NonZero: 4, Cutoff: 0.22, CoeffBits: 6, InputBits: 6, Seed: 7}
+	cn, err := Generate("const", s, Design(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coeffs := Design(s)
+	support := make([]bool, s.Taps)
+	for i, c := range coeffs {
+		support[i] = c != 0
+	}
+	gn, err := GenerateGeneric("generic", s, support)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := techmap.Map(synth.Optimize(cn), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := techmap.Map(synth.Optimize(gn), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(gm.NumBlocks()) / float64(cm.NumBlocks())
+	if ratio < 2 {
+		t.Errorf("generic/constant LUT ratio %.2f — expected ≥2 (paper: ~3)", ratio)
+	}
+}
+
+func TestGenerateRejectsBadInput(t *testing.T) {
+	s := DefaultSpec(LowPass, 1)
+	if _, err := Generate("bad", s, []int{1, 2}); err == nil {
+		t.Error("wrong coefficient count accepted")
+	}
+	zero := make([]int, s.Taps)
+	if _, err := Generate("zero", s, zero); err == nil {
+		t.Error("all-zero coefficients accepted")
+	}
+}
+
+func TestHighPassDiffersFromLowPass(t *testing.T) {
+	lp := Design(DefaultSpec(LowPass, 9))
+	hp := Design(DefaultSpec(HighPass, 9))
+	same := true
+	for i := range lp {
+		if lp[i] != hp[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("LP and HP designs identical")
+	}
+}

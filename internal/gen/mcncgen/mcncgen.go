@@ -1,0 +1,157 @@
+// Package mcncgen generates synthetic general-logic benchmark circuits
+// standing in for the MCNC suite used in the paper's third experiment (the
+// original .blif files are not redistributable). The generator produces
+// levelised random logic with Rent-style locality: gates draw most fanins
+// from nearby levels within their own cluster, a tunable fraction of
+// signals is registered, and sizes are calibrated to Table I's MCNC row
+// (264–404 4-LUTs). Unlike the RegExp and FIR workloads, two circuits from
+// this generator share only incidental structure — reproducing the paper's
+// observation that general circuit pairs merge less profitably than true
+// multi-mode pairs.
+package mcncgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Spec parameterises one synthetic circuit.
+type Spec struct {
+	Name      string
+	PIs       int
+	POs       int
+	Gates     int     // 2-input gate budget before mapping
+	Levels    int     // logic depth of the frame
+	Clusters  int     // locality clusters per level
+	LatchFrac float64 // fraction of cluster outputs registered
+	Seed      int64
+}
+
+// Suite returns the five circuit specs of the experiment, sized to match
+// the paper's MCNC row.
+func Suite() []Spec {
+	return []Spec{
+		{Name: "synth-alu", PIs: 24, POs: 16, Gates: 680, Levels: 9, Clusters: 6, LatchFrac: 0.10, Seed: 101},
+		{Name: "synth-ctrl", PIs: 30, POs: 20, Gates: 700, Levels: 8, Clusters: 5, LatchFrac: 0.25, Seed: 202},
+		{Name: "synth-dsp", PIs: 20, POs: 14, Gates: 860, Levels: 10, Clusters: 6, LatchFrac: 0.15, Seed: 303},
+		{Name: "synth-enc", PIs: 26, POs: 18, Gates: 800, Levels: 9, Clusters: 5, LatchFrac: 0.20, Seed: 404},
+		{Name: "synth-rand", PIs: 28, POs: 16, Gates: 920, Levels: 10, Clusters: 7, LatchFrac: 0.12, Seed: 505},
+	}
+}
+
+// gateFuncs are the 2-input functions the generator draws from (balanced
+// mix of symmetric and asymmetric functions, as in typical mapped logic).
+func gateFuncs() []logic.TT {
+	a, b := logic.VarTT(2, 0), logic.VarTT(2, 1)
+	return []logic.TT{
+		a.And(b), a.Or(b), a.Xor(b),
+		a.And(b).Not(), a.Or(b).Not(),
+		a.And(b.Not()), a.Not().Or(b),
+	}
+}
+
+// Generate builds the circuit of the spec. The construction is levelised:
+// level 0 is the PIs plus the latch outputs; each subsequent level adds
+// Gates/Levels gates whose fanins come from the previous levels, biased
+// towards the gate's own cluster (Rent-style locality). A LatchFrac
+// fraction of the final level is registered and fed back to level 0.
+func Generate(s Spec) (*netlist.Netlist, error) {
+	if s.PIs < 2 || s.Gates < 4 || s.Levels < 2 || s.Clusters < 1 {
+		return nil, fmt.Errorf("mcncgen: degenerate spec %+v", s)
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	b := netlist.NewBuilder(s.Name)
+	funcs := gateFuncs()
+
+	pis := make([]int, s.PIs)
+	for i := range pis {
+		pis[i] = b.Input(fmt.Sprintf("pi%d", i))
+	}
+
+	// Feedback latches: created up-front with placeholder data, wired to
+	// late-level signals at the end.
+	nLatches := int(float64(s.Gates/s.Levels) * s.LatchFrac)
+	if nLatches < 1 {
+		nLatches = 1
+	}
+	latches := make([]int, nLatches)
+	for i := range latches {
+		latches[i] = b.N.AddLatchPlaceholder(fmt.Sprintf("st%d", i), rng.Intn(2) == 0)
+	}
+
+	// levels[l][c] holds the signals of cluster c at level l.
+	level0 := make([][]int, s.Clusters)
+	for i, pi := range pis {
+		c := i % s.Clusters
+		level0[c] = append(level0[c], pi)
+	}
+	for i, q := range latches {
+		c := i % s.Clusters
+		level0[c] = append(level0[c], q)
+	}
+	levels := [][][]int{level0}
+
+	perLevel := s.Gates / s.Levels
+	for l := 1; l <= s.Levels; l++ {
+		cur := make([][]int, s.Clusters)
+		for gi := 0; gi < perLevel; gi++ {
+			c := gi % s.Clusters
+			pick := func() int {
+				// Locality: 70% from own cluster, 30% anywhere; 75% from
+				// the immediately preceding level, tail from older levels.
+				lv := len(levels) - 1
+				for lv > 0 && rng.Float64() > 0.75 {
+					lv--
+				}
+				cluster := c
+				if rng.Float64() < 0.3 {
+					cluster = rng.Intn(s.Clusters)
+				}
+				pool := levels[lv][cluster]
+				for len(pool) == 0 {
+					cluster = rng.Intn(s.Clusters)
+					pool = levels[lv][cluster]
+					lv = len(levels) - 1
+				}
+				return pool[rng.Intn(len(pool))]
+			}
+			x, y := pick(), pick()
+			for y == x {
+				y = pick()
+			}
+			fn := funcs[rng.Intn(len(funcs))]
+			cur[c] = append(cur[c], b.N.AddGate(fmt.Sprintf("g%d_%d", l, gi), fn, x, y))
+		}
+		levels = append(levels, cur)
+	}
+
+	// Wire latch data from the last two levels.
+	lastPool := flatten(levels[len(levels)-1])
+	prevPool := flatten(levels[len(levels)-2])
+	pool := append(append([]int{}, lastPool...), prevPool...)
+	for _, q := range latches {
+		b.N.SetLatchData(q, pool[rng.Intn(len(pool))])
+	}
+
+	// Primary outputs from the final level (falling back to earlier
+	// signals if the level is small).
+	for i := 0; i < s.POs; i++ {
+		src := lastPool[rng.Intn(len(lastPool))]
+		b.Output(fmt.Sprintf("po%d", i), src)
+	}
+	if err := b.N.Validate(); err != nil {
+		return nil, fmt.Errorf("mcncgen: %w", err)
+	}
+	return b.N, nil
+}
+
+func flatten(clusters [][]int) []int {
+	var out []int
+	for _, c := range clusters {
+		out = append(out, c...)
+	}
+	return out
+}

@@ -1,0 +1,308 @@
+package regexgen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// glushkov holds the position-automaton construction: every character-class
+// occurrence in the pattern is a state; transitions carry no epsilon moves.
+type glushkov struct {
+	classes  []CharClass
+	nullable bool
+	first    []int
+	last     []int
+	follow   [][]int
+}
+
+type posInfo struct {
+	nullable    bool
+	first, last []int
+}
+
+// expand rewrites bounded repetitions into copies so only star/opt remain.
+func expand(n node) node {
+	switch t := n.(type) {
+	case litNode:
+		return t
+	case seqNode:
+		parts := make([]node, len(t.parts))
+		for i, p := range t.parts {
+			parts[i] = expand(p)
+		}
+		return seqNode{parts: parts}
+	case altNode:
+		alts := make([]node, len(t.alts))
+		for i, a := range t.alts {
+			alts[i] = expand(a)
+		}
+		return altNode{alts: alts}
+	case repNode:
+		child := expand(t.child)
+		var parts []node
+		for i := 0; i < t.min; i++ {
+			parts = append(parts, child)
+		}
+		switch {
+		case t.max < 0 && t.min == 0:
+			return repNode{child: child, min: 0, max: -1} // pure star
+		case t.max < 0:
+			parts = append(parts, repNode{child: child, min: 0, max: -1})
+		default:
+			for i := t.min; i < t.max; i++ {
+				parts = append(parts, repNode{child: child, min: 0, max: 1}) // opt
+			}
+		}
+		if len(parts) == 1 {
+			return parts[0]
+		}
+		return seqNode{parts: parts}
+	default:
+		panic("regexgen: unknown node")
+	}
+}
+
+// build computes the Glushkov automaton of the expanded AST.
+func build(n node) *glushkov {
+	g := &glushkov{}
+	info := g.visit(expand(n))
+	g.nullable = info.nullable
+	g.first = info.first
+	g.last = info.last
+	return g
+}
+
+func (g *glushkov) visit(n node) posInfo {
+	switch t := n.(type) {
+	case litNode:
+		p := len(g.classes)
+		g.classes = append(g.classes, t.class)
+		g.follow = append(g.follow, nil)
+		return posInfo{nullable: false, first: []int{p}, last: []int{p}}
+	case seqNode:
+		cur := posInfo{nullable: true}
+		for _, part := range t.parts {
+			pi := g.visit(part)
+			// follow: last(cur) -> first(pi)
+			for _, q := range cur.last {
+				g.follow[q] = append(g.follow[q], pi.first...)
+			}
+			var first []int
+			if cur.nullable {
+				first = append(append([]int{}, cur.first...), pi.first...)
+			} else {
+				first = cur.first
+			}
+			var last []int
+			if pi.nullable {
+				last = append(append([]int{}, pi.last...), cur.last...)
+			} else {
+				last = pi.last
+			}
+			cur = posInfo{nullable: cur.nullable && pi.nullable, first: dedup(first), last: dedup(last)}
+		}
+		return cur
+	case altNode:
+		out := posInfo{}
+		for _, a := range t.alts {
+			pi := g.visit(a)
+			out.nullable = out.nullable || pi.nullable
+			out.first = append(out.first, pi.first...)
+			out.last = append(out.last, pi.last...)
+		}
+		out.first = dedup(out.first)
+		out.last = dedup(out.last)
+		return out
+	case repNode:
+		pi := g.visit(t.child)
+		if t.max == 1 { // opt
+			return posInfo{nullable: true, first: pi.first, last: pi.last}
+		}
+		// star: follow last -> first
+		for _, q := range pi.last {
+			g.follow[q] = append(g.follow[q], pi.first...)
+		}
+		return posInfo{nullable: true, first: pi.first, last: pi.last}
+	default:
+		panic("regexgen: unexpanded node")
+	}
+}
+
+func dedup(xs []int) []int {
+	sort.Ints(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Options tunes circuit generation.
+type Options struct {
+	// Anchored starts matching only at stream start; the default scans the
+	// payload continuously (Snort semantics).
+	Anchored bool
+}
+
+// Generate compiles the pattern into a matching circuit with an 8-bit
+// character input ch[0..7], a pulse output "match" (accepting state
+// reached this cycle) and a sticky output "found".
+func Generate(name, pattern string, opt Options) (*netlist.Netlist, error) {
+	ast, err := Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	g := build(ast)
+	if len(g.classes) == 0 {
+		return nil, fmt.Errorf("regexgen: pattern %q has no positions", pattern)
+	}
+
+	b := netlist.NewBuilder(name)
+	ch := b.InputVector("ch", 8)
+
+	// Shared character-class decoders.
+	decoder := map[CharClass]int{}
+	classSig := func(cc CharClass) int {
+		if sig, ok := decoder[cc]; ok {
+			return sig
+		}
+		sig := buildClassDecoder(b, ch, cc)
+		decoder[cc] = sig
+		return sig
+	}
+
+	// One-hot state registers (position automaton).
+	states := make([]int, len(g.classes))
+	for p := range g.classes {
+		states[p] = b.N.AddLatchPlaceholder(fmt.Sprintf("s%d", p), false)
+	}
+	isFirst := map[int]bool{}
+	for _, p := range g.first {
+		isFirst[p] = true
+	}
+	preds := make([][]int, len(g.classes))
+	for q, fs := range g.follow {
+		for _, p := range fs {
+			preds[p] = append(preds[p], q)
+		}
+	}
+	nextState := make([]int, len(g.classes))
+	for p := range g.classes {
+		match := classSig(g.classes[p])
+		var activation int
+		switch {
+		case isFirst[p] && !opt.Anchored:
+			// Unanchored scan: the virtual start state is always active, so
+			// the state fires whenever its class matches.
+			activation = b.Const(true)
+		case isFirst[p] && opt.Anchored:
+			// Start-of-stream flag: a one-shot register that is 1 only on
+			// the first cycle.
+			activation = b.Or(append([]int{startFlag(b)}, stateSignals(states, preds[p])...)...)
+		default:
+			if len(preds[p]) == 0 {
+				activation = b.Const(false)
+			} else {
+				activation = b.Or(stateSignals(states, preds[p])...)
+			}
+		}
+		nextState[p] = b.And(match, activation)
+		b.N.SetLatchData(states[p], nextState[p])
+	}
+
+	// Accept combinationally on the next-state signals, so the match pulse
+	// coincides with the final character of the pattern.
+	var accepts []int
+	for _, p := range g.last {
+		accepts = append(accepts, nextState[p])
+	}
+	match := b.Or(accepts...)
+	b.Output("match", match)
+	sticky := b.N.AddLatchPlaceholder("found_reg", false)
+	b.N.SetLatchData(sticky, b.Or(sticky, match))
+	b.Output("found", b.Or(sticky, match))
+	return b.N, nil
+}
+
+// startFlag builds a register producing 1 only on the first cycle.
+func startFlag(b *netlist.Builder) int {
+	seen := b.N.AddLatchPlaceholder("seen", false)
+	b.N.SetLatchData(seen, b.Const(true))
+	return b.Not(seen)
+}
+
+func stateSignals(states []int, ps []int) []int {
+	out := make([]int, len(ps))
+	for i, p := range ps {
+		out[i] = states[p]
+	}
+	return out
+}
+
+// buildClassDecoder produces the match signal of a character class from the
+// 8 input bits, decomposing the class into maximal byte ranges implemented
+// with ripple comparators (equality for singleton ranges).
+func buildClassDecoder(b *netlist.Builder, ch []int, cc CharClass) int {
+	full := true
+	for v := 0; v < 256; v++ {
+		if !cc.Contains(byte(v)) {
+			full = false
+			break
+		}
+	}
+	if full {
+		return b.Const(true)
+	}
+	if cc.Count() == 0 {
+		return b.Const(false)
+	}
+	var terms []int
+	v := 0
+	for v < 256 {
+		if !cc.Contains(byte(v)) {
+			v++
+			continue
+		}
+		lo := v
+		for v < 256 && cc.Contains(byte(v)) {
+			v++
+		}
+		hi := v - 1
+		switch {
+		case lo == hi:
+			terms = append(terms, b.EqualsConst(ch, int64(lo)))
+		case lo == 0:
+			terms = append(terms, lessEqualConst(b, ch, hi))
+		case hi == 255:
+			terms = append(terms, b.Not(lessEqualConst(b, ch, lo-1)))
+		default:
+			ge := b.Not(lessEqualConst(b, ch, lo-1))
+			le := lessEqualConst(b, ch, hi)
+			terms = append(terms, b.And(ge, le))
+		}
+	}
+	return b.Or(terms...)
+}
+
+// lessEqualConst returns a signal that is true when the unsigned vector is
+// ≤ k, built as a bitwise comparator chain.
+func lessEqualConst(b *netlist.Builder, v []int, k int) int {
+	// le_i over bits i..n-1: le = (v_i < k_i) OR (v_i == k_i AND le_{i+1}).
+	le := b.Const(true)
+	for i := 0; i < len(v); i++ {
+		ki := k>>uint(i)&1 == 1
+		if ki {
+			// v_i=0 -> strictly less at this bit (rest irrelevant): true...
+			// le' = !v_i OR (v_i AND le) = !v_i OR le... careful: v_i=1,k_i=1 equal -> le
+			le = b.Or(b.Not(v[i]), le)
+		} else {
+			// k_i=0: v_i=1 -> greater: false; v_i=0 -> equal -> le
+			le = b.And(b.Not(v[i]), le)
+		}
+	}
+	return le
+}

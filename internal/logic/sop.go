@@ -1,0 +1,227 @@
+package logic
+
+import (
+	"sort"
+	"strings"
+)
+
+// Cube is a product term over n variables: bit v of Mask selects whether
+// variable v is in the cube, and bit v of Value gives its required polarity.
+type Cube struct {
+	Mask  uint
+	Value uint
+}
+
+// Covers reports whether the cube covers the given row (input assignment).
+func (c Cube) Covers(row uint) bool { return row&c.Mask == c.Value&c.Mask }
+
+// LiteralCount returns the number of literals in the cube.
+func (c Cube) LiteralCount() int {
+	n := 0
+	for m := c.Mask; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// String renders the cube with the given variable names, "1" if it is the
+// universal cube.
+func (c Cube) String(names []string) string {
+	if c.Mask == 0 {
+		return "1"
+	}
+	var parts []string
+	for v := 0; v < len(names); v++ {
+		if c.Mask>>uint(v)&1 == 0 {
+			continue
+		}
+		if c.Value>>uint(v)&1 == 1 {
+			parts = append(parts, names[v])
+		} else {
+			parts = append(parts, "!"+names[v])
+		}
+	}
+	return strings.Join(parts, ".")
+}
+
+// SOP is a sum of product cubes.
+type SOP struct {
+	NumVars int
+	Cubes   []Cube
+}
+
+// String renders the SOP with the given variable names; constants render as
+// "0" and "1".
+func (s SOP) String(names []string) string {
+	if len(s.Cubes) == 0 {
+		return "0"
+	}
+	var parts []string
+	for _, c := range s.Cubes {
+		parts = append(parts, c.String(names))
+	}
+	return strings.Join(parts, " + ")
+}
+
+// LiteralCount returns the total number of literals over all cubes.
+func (s SOP) LiteralCount() int {
+	n := 0
+	for _, c := range s.Cubes {
+		n += c.LiteralCount()
+	}
+	return n
+}
+
+// Eval evaluates the SOP on an input assignment bitmask.
+func (s SOP) Eval(row uint) bool {
+	for _, c := range s.Cubes {
+		if c.Covers(row) {
+			return true
+		}
+	}
+	return false
+}
+
+// Minimize computes a compact sum-of-products cover of the function using
+// the Quine–McCluskey procedure (prime-implicant generation followed by a
+// greedy essential-first cover). Exact for the arities used here (≤ 6
+// variables; mode words are a handful of bits).
+func Minimize(t TT) SOP {
+	n := t.NumVars
+	if t.IsConst0() {
+		return SOP{NumVars: n}
+	}
+	if t.IsConst1() {
+		return SOP{NumVars: n, Cubes: []Cube{{}}}
+	}
+
+	full := uint(1)<<uint(n) - 1
+
+	// Start from minterms and iteratively merge cube pairs differing in one
+	// cared literal. implicant key = (mask, value).
+	type key struct{ mask, value uint }
+	cur := map[key]bool{}
+	for r := 0; r < t.NumRows(); r++ {
+		if t.Get(r) {
+			cur[key{full, uint(r)}] = true
+		}
+	}
+	var primes []Cube
+	for len(cur) > 0 {
+		next := map[key]bool{}
+		merged := map[key]bool{}
+		keys := make([]key, 0, len(cur))
+		for k := range cur {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].mask != keys[j].mask {
+				return keys[i].mask < keys[j].mask
+			}
+			return keys[i].value < keys[j].value
+		})
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				a, b := keys[i], keys[j]
+				if a.mask != b.mask {
+					continue
+				}
+				diff := (a.value ^ b.value) & a.mask
+				if diff == 0 || diff&(diff-1) != 0 {
+					continue
+				}
+				nk := key{a.mask &^ diff, a.value &^ diff & (a.mask &^ diff)}
+				next[nk] = true
+				merged[a] = true
+				merged[b] = true
+			}
+		}
+		for _, k := range keys {
+			if !merged[k] {
+				primes = append(primes, Cube{Mask: k.mask, Value: k.value & k.mask})
+			}
+		}
+		cur = next
+	}
+
+	// Greedy cover: essentials first, then largest-coverage primes.
+	var minterms []uint
+	for r := 0; r < t.NumRows(); r++ {
+		if t.Get(r) {
+			minterms = append(minterms, uint(r))
+		}
+	}
+	covered := make(map[uint]bool, len(minterms))
+	var chosen []Cube
+	// Essential primes.
+	for _, m := range minterms {
+		var only *Cube
+		cnt := 0
+		for i := range primes {
+			if primes[i].Covers(m) {
+				cnt++
+				only = &primes[i]
+			}
+		}
+		if cnt == 1 && !cubeIn(chosen, *only) {
+			chosen = append(chosen, *only)
+			for _, mm := range minterms {
+				if only.Covers(mm) {
+					covered[mm] = true
+				}
+			}
+		}
+	}
+	for {
+		allCovered := true
+		for _, m := range minterms {
+			if !covered[m] {
+				allCovered = false
+				break
+			}
+		}
+		if allCovered {
+			break
+		}
+		bestIdx, bestGain := -1, -1
+		for i, p := range primes {
+			if cubeIn(chosen, p) {
+				continue
+			}
+			gain := 0
+			for _, m := range minterms {
+				if !covered[m] && p.Covers(m) {
+					gain++
+				}
+			}
+			if gain > bestGain || (gain == bestGain && bestIdx >= 0 && p.LiteralCount() < primes[bestIdx].LiteralCount()) {
+				bestGain, bestIdx = gain, i
+			}
+		}
+		if bestIdx < 0 || bestGain <= 0 {
+			break // unreachable for a correct prime set
+		}
+		chosen = append(chosen, primes[bestIdx])
+		for _, m := range minterms {
+			if primes[bestIdx].Covers(m) {
+				covered[m] = true
+			}
+		}
+	}
+	sort.Slice(chosen, func(i, j int) bool {
+		if chosen[i].Mask != chosen[j].Mask {
+			return chosen[i].Mask < chosen[j].Mask
+		}
+		return chosen[i].Value < chosen[j].Value
+	})
+	return SOP{NumVars: n, Cubes: chosen}
+}
+
+func cubeIn(cs []Cube, c Cube) bool {
+	for _, x := range cs {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}

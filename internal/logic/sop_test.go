@@ -1,0 +1,120 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sopEquivalent checks that the SOP denotes exactly the same function as tt.
+func sopEquivalent(t *testing.T, tt TT, s SOP) {
+	t.Helper()
+	for r := 0; r < tt.NumRows(); r++ {
+		if s.Eval(uint(r)) != tt.Get(r) {
+			t.Fatalf("SOP differs from TT at row %d (tt=%s)", r, tt)
+		}
+	}
+}
+
+func TestMinimizeConstants(t *testing.T) {
+	names := []string{"a", "b"}
+	s0 := Minimize(ConstTT(2, false))
+	if s0.String(names) != "0" || len(s0.Cubes) != 0 {
+		t.Errorf("const0 SOP = %q", s0.String(names))
+	}
+	s1 := Minimize(ConstTT(2, true))
+	if s1.String(names) != "1" {
+		t.Errorf("const1 SOP = %q", s1.String(names))
+	}
+}
+
+func TestMinimizeSingleVariable(t *testing.T) {
+	s := Minimize(VarTT(3, 1))
+	if got := s.String([]string{"m0", "m1", "m2"}); got != "m1" {
+		t.Errorf("SOP = %q, want m1", got)
+	}
+}
+
+func TestMinimizeKnownFunction(t *testing.T) {
+	// Paper's Fig. 4 style: f = m0.1 + !m0.0 simplifies to m0.
+	m0 := VarTT(1, 0)
+	f := m0.And(ConstTT(1, true)).Or(m0.Not().And(ConstTT(1, false)))
+	s := Minimize(f)
+	if got := s.String([]string{"m0"}); got != "m0" {
+		t.Errorf("SOP = %q, want m0", got)
+	}
+}
+
+func TestMinimizeXorNeedsTwoCubes(t *testing.T) {
+	f := VarTT(2, 0).Xor(VarTT(2, 1))
+	s := Minimize(f)
+	if len(s.Cubes) != 2 {
+		t.Errorf("XOR cover has %d cubes, want 2", len(s.Cubes))
+	}
+	sopEquivalent(t, f, s)
+}
+
+func TestMinimizeMergesAdjacentMinterms(t *testing.T) {
+	// f = !a.!b + !a.b = !a — one cube, one literal.
+	a, b := VarTT(2, 0), VarTT(2, 1)
+	f := a.Not().And(b.Not()).Or(a.Not().And(b))
+	s := Minimize(f)
+	if len(s.Cubes) != 1 || s.LiteralCount() != 1 {
+		t.Errorf("cover = %q (%d cubes, %d lits), want single literal !a",
+			s.String([]string{"a", "b"}), len(s.Cubes), s.LiteralCount())
+	}
+	sopEquivalent(t, f, s)
+}
+
+func TestMinimizeRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(4) // QM over ≤4 vars stays fast
+		tt := NewTT(n, rng.Uint64())
+		sopEquivalent(t, tt, Minimize(tt))
+	}
+}
+
+func TestCubeCovers(t *testing.T) {
+	c := Cube{Mask: 0b101, Value: 0b001} // v0=1, v2=0
+	cases := []struct {
+		row  uint
+		want bool
+	}{
+		{0b001, true}, {0b011, true}, {0b101, false}, {0b000, false}, {0b111, false},
+	}
+	for _, tc := range cases {
+		if c.Covers(tc.row) != tc.want {
+			t.Errorf("Covers(%03b) = %v, want %v", tc.row, c.Covers(tc.row), tc.want)
+		}
+	}
+}
+
+func TestQuickMinimizeSound(t *testing.T) {
+	f := func(bits uint64) bool {
+		tt := NewTT(3, bits)
+		s := Minimize(tt)
+		for r := 0; r < 8; r++ {
+			if s.Eval(uint(r)) != tt.Get(r) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSOPStringFormatting(t *testing.T) {
+	// f = a.!b + c over 3 vars.
+	a, b, c := VarTT(3, 0), VarTT(3, 1), VarTT(3, 2)
+	f := a.And(b.Not()).Or(c)
+	s := Minimize(f)
+	sopEquivalent(t, f, s)
+	str := s.String([]string{"a", "b", "c"})
+	if str == "0" || str == "1" {
+		t.Errorf("unexpected constant rendering %q", str)
+	}
+}

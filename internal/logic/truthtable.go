@@ -1,0 +1,238 @@
+// Package logic provides the Boolean-function kernel used across the tool
+// flow: truth tables of up to six variables packed in a uint64, cofactoring,
+// support computation, and a Quine–McCluskey sum-of-products extractor used
+// to print activation functions and parameterised configuration bits.
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxVars is the largest number of truth-table variables supported by TT.
+// Six variables fit exactly in one uint64 (2^6 rows), which covers every
+// LUT size used by the flow (K ≤ 6).
+const MaxVars = 6
+
+// varMasks[v] has bit r set iff row r has variable v equal to 1.
+var varMasks = [MaxVars]uint64{
+	0xAAAAAAAAAAAAAAAA, // v0: rows where bit0 of the row index is 1
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// TT is a truth table over a fixed number of variables. Row i (bit i of
+// Bits) holds the function value for the input assignment whose binary
+// encoding is i, with variable 0 as the least-significant input bit.
+type TT struct {
+	NumVars int
+	Bits    uint64
+}
+
+// mask returns the uint64 mask covering the 2^n valid rows of an n-variable
+// table.
+func mask(numVars int) uint64 {
+	if numVars >= MaxVars {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (1 << uint(numVars))) - 1
+}
+
+// NewTT builds a truth table over numVars variables from the given row bits.
+// Rows beyond 2^numVars are cleared.
+func NewTT(numVars int, bits uint64) TT {
+	if numVars < 0 || numVars > MaxVars {
+		panic(fmt.Sprintf("logic: NewTT numVars %d out of range [0,%d]", numVars, MaxVars))
+	}
+	return TT{NumVars: numVars, Bits: bits & mask(numVars)}
+}
+
+// ConstTT returns the constant-0 or constant-1 function over numVars
+// variables.
+func ConstTT(numVars int, value bool) TT {
+	if value {
+		return NewTT(numVars, ^uint64(0))
+	}
+	return NewTT(numVars, 0)
+}
+
+// VarTT returns the projection function x_v over numVars variables.
+func VarTT(numVars, v int) TT {
+	if v < 0 || v >= numVars {
+		panic(fmt.Sprintf("logic: VarTT variable %d out of range for %d vars", v, numVars))
+	}
+	return NewTT(numVars, varMasks[v])
+}
+
+// NumRows returns the number of rows (2^NumVars) of the table.
+func (t TT) NumRows() int { return 1 << uint(t.NumVars) }
+
+// Get reports the function value for the row index (input assignment) r.
+func (t TT) Get(r int) bool {
+	if r < 0 || r >= t.NumRows() {
+		panic(fmt.Sprintf("logic: TT.Get row %d out of range for %d vars", r, t.NumVars))
+	}
+	return t.Bits>>uint(r)&1 == 1
+}
+
+// Set returns a copy of t with row r set to value.
+func (t TT) Set(r int, value bool) TT {
+	if r < 0 || r >= t.NumRows() {
+		panic(fmt.Sprintf("logic: TT.Set row %d out of range for %d vars", r, t.NumVars))
+	}
+	if value {
+		t.Bits |= uint64(1) << uint(r)
+	} else {
+		t.Bits &^= uint64(1) << uint(r)
+	}
+	return t
+}
+
+// Eval evaluates the function on the input assignment given as a bitmask
+// (bit v = value of variable v).
+func (t TT) Eval(assignment uint) bool {
+	return t.Get(int(assignment) & (t.NumRows() - 1))
+}
+
+func (t TT) checkSameArity(o TT, op string) {
+	if t.NumVars != o.NumVars {
+		panic(fmt.Sprintf("logic: %s on tables with %d and %d vars", op, t.NumVars, o.NumVars))
+	}
+}
+
+// And returns t AND o.
+func (t TT) And(o TT) TT { t.checkSameArity(o, "And"); return NewTT(t.NumVars, t.Bits&o.Bits) }
+
+// Or returns t OR o.
+func (t TT) Or(o TT) TT { t.checkSameArity(o, "Or"); return NewTT(t.NumVars, t.Bits|o.Bits) }
+
+// Xor returns t XOR o.
+func (t TT) Xor(o TT) TT { t.checkSameArity(o, "Xor"); return NewTT(t.NumVars, t.Bits^o.Bits) }
+
+// Not returns NOT t.
+func (t TT) Not() TT { return NewTT(t.NumVars, ^t.Bits) }
+
+// IsConst0 reports whether the function is constant 0.
+func (t TT) IsConst0() bool { return t.Bits == 0 }
+
+// IsConst1 reports whether the function is constant 1.
+func (t TT) IsConst1() bool { return t.Bits == mask(t.NumVars) }
+
+// Equal reports whether the two tables denote the same function over the
+// same arity.
+func (t TT) Equal(o TT) bool { return t.NumVars == o.NumVars && t.Bits == o.Bits }
+
+// Cofactor returns the cofactor of t with variable v fixed to value. The
+// result keeps the same arity; the fixed variable becomes irrelevant.
+func (t TT) Cofactor(v int, value bool) TT {
+	if v < 0 || v >= t.NumVars {
+		panic(fmt.Sprintf("logic: Cofactor variable %d out of range for %d vars", v, t.NumVars))
+	}
+	m := varMasks[v]
+	shift := uint(1) << uint(v)
+	if value {
+		hi := t.Bits & m
+		return NewTT(t.NumVars, hi|hi>>shift)
+	}
+	lo := t.Bits &^ m
+	return NewTT(t.NumVars, lo|lo<<shift)
+}
+
+// DependsOn reports whether the function value depends on variable v.
+func (t TT) DependsOn(v int) bool {
+	return !t.Cofactor(v, false).Equal(t.Cofactor(v, true))
+}
+
+// Support returns the bitmask of variables the function actually depends on.
+func (t TT) Support() uint {
+	var s uint
+	for v := 0; v < t.NumVars; v++ {
+		if t.DependsOn(v) {
+			s |= 1 << uint(v)
+		}
+	}
+	return s
+}
+
+// SupportSize returns the number of variables in the functional support.
+func (t TT) SupportSize() int {
+	n := 0
+	for v := 0; v < t.NumVars; v++ {
+		if t.DependsOn(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// Expand re-expresses t over a wider arity newNumVars, mapping old variable
+// i to new variable varMap[i]. Entries of varMap must be distinct and
+// < newNumVars.
+func (t TT) Expand(newNumVars int, varMap []int) TT {
+	if len(varMap) != t.NumVars {
+		panic(fmt.Sprintf("logic: Expand varMap has %d entries for %d vars", len(varMap), t.NumVars))
+	}
+	out := NewTT(newNumVars, 0)
+	for r := 0; r < out.NumRows(); r++ {
+		var oldRow int
+		for i, nv := range varMap {
+			if r>>uint(nv)&1 == 1 {
+				oldRow |= 1 << uint(i)
+			}
+		}
+		if t.Get(oldRow) {
+			out = out.Set(r, true)
+		}
+	}
+	return out
+}
+
+// Shrink removes non-support variables, returning the reduced table plus the
+// list of original variable indices that remain (in ascending order).
+func (t TT) Shrink() (TT, []int) {
+	var keep []int
+	for v := 0; v < t.NumVars; v++ {
+		if t.DependsOn(v) {
+			keep = append(keep, v)
+		}
+	}
+	out := NewTT(len(keep), 0)
+	for r := 0; r < out.NumRows(); r++ {
+		var oldRow int
+		for i, ov := range keep {
+			if r>>uint(i)&1 == 1 {
+				oldRow |= 1 << uint(ov)
+			}
+		}
+		if t.Get(oldRow) {
+			out = out.Set(r, true)
+		}
+	}
+	return out, keep
+}
+
+// CountOnes returns the number of satisfying rows.
+func (t TT) CountOnes() int {
+	n := 0
+	for b := t.Bits; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// String renders the table as a binary row string, row 2^n-1 first, matching
+// BLIF-style reading order of hex dumps.
+func (t TT) String() string {
+	var sb strings.Builder
+	for r := t.NumRows() - 1; r >= 0; r-- {
+		if t.Get(r) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

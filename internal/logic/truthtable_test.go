@@ -1,0 +1,182 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstTT(t *testing.T) {
+	for n := 0; n <= MaxVars; n++ {
+		c0 := ConstTT(n, false)
+		c1 := ConstTT(n, true)
+		if !c0.IsConst0() {
+			t.Errorf("ConstTT(%d,false) not const0", n)
+		}
+		if !c1.IsConst1() {
+			t.Errorf("ConstTT(%d,true) not const1", n)
+		}
+		if c1.CountOnes() != 1<<uint(n) {
+			t.Errorf("ConstTT(%d,true) has %d ones, want %d", n, c1.CountOnes(), 1<<uint(n))
+		}
+	}
+}
+
+func TestVarTTProjection(t *testing.T) {
+	for n := 1; n <= MaxVars; n++ {
+		for v := 0; v < n; v++ {
+			tt := VarTT(n, v)
+			for r := 0; r < tt.NumRows(); r++ {
+				want := r>>uint(v)&1 == 1
+				if tt.Get(r) != want {
+					t.Fatalf("VarTT(%d,%d).Get(%d)=%v want %v", n, v, r, tt.Get(r), want)
+				}
+			}
+		}
+	}
+}
+
+func TestBooleanOpsMatchRowwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(MaxVars)
+		a := NewTT(n, rng.Uint64())
+		b := NewTT(n, rng.Uint64())
+		and, or, xor, not := a.And(b), a.Or(b), a.Xor(b), a.Not()
+		for r := 0; r < a.NumRows(); r++ {
+			if and.Get(r) != (a.Get(r) && b.Get(r)) {
+				t.Fatalf("And row %d mismatch", r)
+			}
+			if or.Get(r) != (a.Get(r) || b.Get(r)) {
+				t.Fatalf("Or row %d mismatch", r)
+			}
+			if xor.Get(r) != (a.Get(r) != b.Get(r)) {
+				t.Fatalf("Xor row %d mismatch", r)
+			}
+			if not.Get(r) == a.Get(r) {
+				t.Fatalf("Not row %d mismatch", r)
+			}
+		}
+	}
+}
+
+func TestCofactorShannon(t *testing.T) {
+	// f = v ? f_v1 : f_v0 (Shannon expansion) must reconstruct f.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(MaxVars)
+		f := NewTT(n, rng.Uint64())
+		v := rng.Intn(n)
+		f0 := f.Cofactor(v, false)
+		f1 := f.Cofactor(v, true)
+		x := VarTT(n, v)
+		recon := x.And(f1).Or(x.Not().And(f0))
+		if !recon.Equal(f) {
+			t.Fatalf("Shannon expansion failed for n=%d v=%d f=%s", n, v, f)
+		}
+		if f0.DependsOn(v) || f1.DependsOn(v) {
+			t.Fatalf("cofactor still depends on fixed variable")
+		}
+	}
+}
+
+func TestSupport(t *testing.T) {
+	n := 4
+	f := VarTT(n, 0).And(VarTT(n, 2)) // depends on v0, v2 only
+	if got := f.Support(); got != 0b0101 {
+		t.Errorf("Support = %04b, want 0101", got)
+	}
+	if f.SupportSize() != 2 {
+		t.Errorf("SupportSize = %d, want 2", f.SupportSize())
+	}
+}
+
+func TestShrinkExpandRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(MaxVars)
+		f := NewTT(n, rng.Uint64())
+		small, keep := f.Shrink()
+		if small.NumVars != len(keep) {
+			t.Fatalf("Shrink arity %d != len(keep) %d", small.NumVars, len(keep))
+		}
+		back := small.Expand(n, keep)
+		if !back.Equal(f) {
+			t.Fatalf("Shrink/Expand round trip failed n=%d f=%s got=%s", n, f, back)
+		}
+	}
+}
+
+func TestExpandPermutation(t *testing.T) {
+	// f(a,b) = a AND NOT b expanded to 3 vars with a->2, b->0.
+	f := VarTT(2, 0).And(VarTT(2, 1).Not())
+	g := f.Expand(3, []int{2, 0})
+	want := VarTT(3, 2).And(VarTT(3, 0).Not())
+	if !g.Equal(want) {
+		t.Errorf("Expand permutation got %s want %s", g, want)
+	}
+}
+
+func TestEvalAgainstGet(t *testing.T) {
+	f := NewTT(3, 0b10110100)
+	for r := 0; r < 8; r++ {
+		if f.Eval(uint(r)) != f.Get(r) {
+			t.Errorf("Eval(%d) != Get(%d)", r, r)
+		}
+	}
+}
+
+func TestTTSetGet(t *testing.T) {
+	f := ConstTT(3, false)
+	f = f.Set(5, true)
+	if !f.Get(5) || f.CountOnes() != 1 {
+		t.Errorf("Set/Get failed: %s", f)
+	}
+	f = f.Set(5, false)
+	if !f.IsConst0() {
+		t.Errorf("clearing bit failed: %s", f)
+	}
+}
+
+func TestTTPanicsOnBadInput(t *testing.T) {
+	cases := []func(){
+		func() { NewTT(7, 0) },
+		func() { VarTT(2, 2) },
+		func() { NewTT(2, 0).Get(4) },
+		func() { NewTT(2, 0).Cofactor(3, true) },
+		func() { NewTT(2, 0).And(NewTT(3, 0)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuickCofactorIdempotent(t *testing.T) {
+	f := func(bits uint64, vRaw uint8) bool {
+		tt := NewTT(4, bits)
+		v := int(vRaw) % 4
+		c := tt.Cofactor(v, true)
+		return c.Cofactor(v, true).Equal(c) && c.Cofactor(v, false).Equal(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x := NewTT(5, a)
+		y := NewTT(5, b)
+		return x.And(y).Not().Equal(x.Not().Or(y.Not()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

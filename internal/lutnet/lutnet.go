@@ -1,0 +1,290 @@
+// Package lutnet defines the mapped LUT-circuit representation shared by
+// the placer, the router and the multi-mode merge step: a network of logic
+// blocks (one K-LUT plus an optional output flip-flop, matching the
+// 4lut_sanitized.arch logic block of VPR) connected to primary I/O pads.
+package lutnet
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// SourceKind discriminates signal sources in a LUT circuit.
+type SourceKind int
+
+const (
+	// SrcPI is a primary-input pad.
+	SrcPI SourceKind = iota
+	// SrcBlock is the output of a logic block.
+	SrcBlock
+)
+
+// Source identifies the driver of a signal: a primary input (by PI index)
+// or a logic block output (by block index).
+type Source struct {
+	Kind SourceKind
+	Idx  int
+}
+
+func (s Source) String() string {
+	if s.Kind == SrcPI {
+		return fmt.Sprintf("pi%d", s.Idx)
+	}
+	return fmt.Sprintf("blk%d", s.Idx)
+}
+
+// Block is one logic block: a K-LUT over its inputs with an optional
+// flip-flop on the output (the block output is Q when HasFF is set).
+type Block struct {
+	Name   string
+	TT     logic.TT // over len(Inputs) variables (≤ K)
+	Inputs []Source
+	HasFF  bool
+	Init   bool // FF initial state
+}
+
+// PO is a named primary output and its driving source.
+type PO struct {
+	Name string
+	Src  Source
+}
+
+// Circuit is a technology-mapped LUT circuit.
+type Circuit struct {
+	Name    string
+	K       int
+	PINames []string
+	Blocks  []Block
+	POs     []PO
+}
+
+// NumPIs returns the number of primary inputs.
+func (c *Circuit) NumPIs() int { return len(c.PINames) }
+
+// NumBlocks returns the number of logic blocks.
+func (c *Circuit) NumBlocks() int { return len(c.Blocks) }
+
+// NumFFs returns the number of blocks with a registered output.
+func (c *Circuit) NumFFs() int {
+	n := 0
+	for i := range c.Blocks {
+		if c.Blocks[i].HasFF {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks structural invariants: arities, source ranges, and
+// acyclicity of the combinational part (paths through FF outputs are
+// sequential and may loop).
+func (c *Circuit) Validate() error {
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		if len(b.Inputs) != b.TT.NumVars {
+			return fmt.Errorf("block %d (%s): %d inputs but %d-var LUT", i, b.Name, len(b.Inputs), b.TT.NumVars)
+		}
+		if len(b.Inputs) > c.K {
+			return fmt.Errorf("block %d (%s): %d inputs exceed K=%d", i, b.Name, len(b.Inputs), c.K)
+		}
+		for _, s := range b.Inputs {
+			if err := c.checkSource(s); err != nil {
+				return fmt.Errorf("block %d (%s): %w", i, b.Name, err)
+			}
+		}
+	}
+	for _, po := range c.POs {
+		if err := c.checkSource(po.Src); err != nil {
+			return fmt.Errorf("output %s: %w", po.Name, err)
+		}
+	}
+	// Combinational cycle check: DFS over non-FF block edges.
+	state := make([]int8, len(c.Blocks))
+	var visit func(int) error
+	visit = func(i int) error {
+		switch state[i] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("combinational cycle through block %d (%s)", i, c.Blocks[i].Name)
+		}
+		state[i] = 1
+		for _, s := range c.Blocks[i].Inputs {
+			if s.Kind == SrcBlock && !c.Blocks[s.Idx].HasFF {
+				if err := visit(s.Idx); err != nil {
+					return err
+				}
+			}
+		}
+		state[i] = 2
+		return nil
+	}
+	for i := range c.Blocks {
+		if err := visit(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Circuit) checkSource(s Source) error {
+	switch s.Kind {
+	case SrcPI:
+		if s.Idx < 0 || s.Idx >= len(c.PINames) {
+			return fmt.Errorf("PI index %d out of range", s.Idx)
+		}
+	case SrcBlock:
+		if s.Idx < 0 || s.Idx >= len(c.Blocks) {
+			return fmt.Errorf("block index %d out of range", s.Idx)
+		}
+	default:
+		return fmt.Errorf("bad source kind %d", s.Kind)
+	}
+	return nil
+}
+
+// Net is a signal source together with all of its sinks.
+type Net struct {
+	Src     Source
+	BlockIn []BlockPin // block input pins fed by this net
+	POSinks []int      // indices into POs
+}
+
+// BlockPin identifies one input pin of one block.
+type BlockPin struct {
+	Block int
+	Pin   int
+}
+
+// Nets groups all connections by driving source. Sources with no sinks are
+// omitted. Order: PIs first (by index), then blocks (by index).
+func (c *Circuit) Nets() []Net {
+	piNet := make(map[int]*Net)
+	blkNet := make(map[int]*Net)
+	get := func(s Source) *Net {
+		m := blkNet
+		if s.Kind == SrcPI {
+			m = piNet
+		}
+		if n, ok := m[s.Idx]; ok {
+			return n
+		}
+		n := &Net{Src: s}
+		m[s.Idx] = n
+		return n
+	}
+	for bi := range c.Blocks {
+		for pin, s := range c.Blocks[bi].Inputs {
+			n := get(s)
+			n.BlockIn = append(n.BlockIn, BlockPin{Block: bi, Pin: pin})
+		}
+	}
+	for pi, po := range c.POs {
+		n := get(po.Src)
+		n.POSinks = append(n.POSinks, pi)
+	}
+	var nets []Net
+	for i := 0; i < len(c.PINames); i++ {
+		if n, ok := piNet[i]; ok {
+			nets = append(nets, *n)
+		}
+	}
+	for i := 0; i < len(c.Blocks); i++ {
+		if n, ok := blkNet[i]; ok {
+			nets = append(nets, *n)
+		}
+	}
+	return nets
+}
+
+// Simulator evaluates a LUT circuit cycle by cycle (used for equivalence
+// checking against the pre-mapping netlist).
+type Simulator struct {
+	c     *Circuit
+	order []int // block evaluation order (combinational topo)
+	val   []bool
+	state []bool
+	piVal []bool
+}
+
+// NewSimulator builds a simulator; FF state starts at each block's Init.
+func NewSimulator(c *Circuit) (*Simulator, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		c:     c,
+		val:   make([]bool, len(c.Blocks)),
+		state: make([]bool, len(c.Blocks)),
+		piVal: make([]bool, len(c.PINames)),
+	}
+	// Topological order over combinational edges.
+	done := make([]bool, len(c.Blocks))
+	var visit func(int)
+	visit = func(i int) {
+		if done[i] {
+			return
+		}
+		done[i] = true
+		for _, src := range c.Blocks[i].Inputs {
+			if src.Kind == SrcBlock && !c.Blocks[src.Idx].HasFF {
+				visit(src.Idx)
+			}
+		}
+		s.order = append(s.order, i)
+	}
+	for i := range c.Blocks {
+		visit(i)
+	}
+	s.Reset()
+	return s, nil
+}
+
+// Reset restores all flip-flops to their initial state.
+func (s *Simulator) Reset() {
+	for i := range s.c.Blocks {
+		s.state[i] = s.c.Blocks[i].Init
+	}
+}
+
+// Step applies one clock cycle with the given PI values (by PI name) and
+// returns the PO values by name.
+func (s *Simulator) Step(inputs map[string]bool) map[string]bool {
+	for i, nm := range s.c.PINames {
+		s.piVal[i] = inputs[nm]
+	}
+	srcVal := func(src Source) bool {
+		if src.Kind == SrcPI {
+			return s.piVal[src.Idx]
+		}
+		if s.c.Blocks[src.Idx].HasFF {
+			return s.state[src.Idx]
+		}
+		return s.val[src.Idx]
+	}
+	lutOut := make([]bool, len(s.c.Blocks))
+	for _, i := range s.order {
+		b := &s.c.Blocks[i]
+		var row uint
+		for pin, src := range b.Inputs {
+			if srcVal(src) {
+				row |= 1 << uint(pin)
+			}
+		}
+		lutOut[i] = b.TT.Eval(row)
+		if !b.HasFF {
+			s.val[i] = lutOut[i]
+		}
+	}
+	out := make(map[string]bool, len(s.c.POs))
+	for _, po := range s.c.POs {
+		out[po.Name] = srcVal(po.Src)
+	}
+	for i := range s.c.Blocks {
+		if s.c.Blocks[i].HasFF {
+			s.state[i] = lutOut[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package lutnet
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// tiny builds a 2-block circuit: blk0 = a AND b (registered), blk1 = blk0
+// OR a; outputs o1 = blk1, o2 = blk0.
+func tiny() *Circuit {
+	return &Circuit{
+		Name:    "tiny",
+		K:       4,
+		PINames: []string{"a", "b"},
+		Blocks: []Block{
+			{
+				Name: "andreg",
+				TT:   logic.VarTT(2, 0).And(logic.VarTT(2, 1)),
+				Inputs: []Source{
+					{Kind: SrcPI, Idx: 0},
+					{Kind: SrcPI, Idx: 1},
+				},
+				HasFF: true,
+			},
+			{
+				Name: "or",
+				TT:   logic.VarTT(2, 0).Or(logic.VarTT(2, 1)),
+				Inputs: []Source{
+					{Kind: SrcBlock, Idx: 0},
+					{Kind: SrcPI, Idx: 0},
+				},
+			},
+		},
+		POs: []PO{
+			{Name: "o1", Src: Source{Kind: SrcBlock, Idx: 1}},
+			{Name: "o2", Src: Source{Kind: SrcBlock, Idx: 0}},
+		},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := tiny().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsArityMismatch(t *testing.T) {
+	c := tiny()
+	c.Blocks[0].Inputs = c.Blocks[0].Inputs[:1]
+	if err := c.Validate(); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestValidateRejectsBadSource(t *testing.T) {
+	c := tiny()
+	c.Blocks[1].Inputs[0] = Source{Kind: SrcBlock, Idx: 99}
+	if err := c.Validate(); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestValidateRejectsCombinationalCycle(t *testing.T) {
+	c := tiny()
+	c.Blocks[0].HasFF = false
+	c.Blocks[0].Inputs[0] = Source{Kind: SrcBlock, Idx: 1} // 0 <-> 1 loop
+	if err := c.Validate(); err == nil {
+		t.Fatal("combinational cycle accepted")
+	}
+}
+
+func TestSequentialLoopAllowed(t *testing.T) {
+	c := tiny()
+	// Loop through the FF: blk0 input from blk1, blk1 input from blk0
+	// (blk0 has a FF, so the cycle is sequential).
+	c.Blocks[0].Inputs[0] = Source{Kind: SrcBlock, Idx: 1}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("sequential loop rejected: %v", err)
+	}
+}
+
+func TestSimulatorBehaviour(t *testing.T) {
+	sim, err := NewSimulator(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 1: a=1,b=1. FF still 0 -> o2=0, o1 = 0 OR 1 = 1.
+	out := sim.Step(map[string]bool{"a": true, "b": true})
+	if out["o2"] || !out["o1"] {
+		t.Fatalf("cycle 1: %v", out)
+	}
+	// Cycle 2: a=0,b=0. FF now 1 -> o2=1, o1 = 1 OR 0 = 1.
+	out = sim.Step(map[string]bool{"a": false, "b": false})
+	if !out["o2"] || !out["o1"] {
+		t.Fatalf("cycle 2: %v", out)
+	}
+	// Cycle 3: FF captured 0 -> o2=0, o1=0.
+	out = sim.Step(map[string]bool{"a": false, "b": false})
+	if out["o2"] || out["o1"] {
+		t.Fatalf("cycle 3: %v", out)
+	}
+}
+
+func TestSimulatorReset(t *testing.T) {
+	c := tiny()
+	c.Blocks[0].Init = true
+	sim, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sim.Step(map[string]bool{"a": false, "b": false})
+	if !out["o2"] {
+		t.Fatal("init=true not honoured")
+	}
+	sim.Step(map[string]bool{"a": false, "b": false})
+	sim.Reset()
+	out = sim.Step(map[string]bool{"a": false, "b": false})
+	if !out["o2"] {
+		t.Fatal("Reset did not restore init state")
+	}
+}
+
+func TestNetsGrouping(t *testing.T) {
+	c := tiny()
+	nets := c.Nets()
+	// Nets: a (feeds blk0 pin0, blk1 pin1), b (feeds blk0 pin1),
+	// blk0 (feeds blk1 pin0 and o2), blk1 (feeds o1). Total 4.
+	if len(nets) != 4 {
+		t.Fatalf("nets = %d, want 4", len(nets))
+	}
+	bySrc := map[Source]Net{}
+	for _, n := range nets {
+		bySrc[n.Src] = n
+	}
+	aNet := bySrc[Source{Kind: SrcPI, Idx: 0}]
+	if len(aNet.BlockIn) != 2 || len(aNet.POSinks) != 0 {
+		t.Fatalf("net a: %+v", aNet)
+	}
+	b0 := bySrc[Source{Kind: SrcBlock, Idx: 0}]
+	if len(b0.BlockIn) != 1 || len(b0.POSinks) != 1 {
+		t.Fatalf("net blk0: %+v", b0)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	c := tiny()
+	if c.NumPIs() != 2 || c.NumBlocks() != 2 || c.NumFFs() != 1 {
+		t.Fatalf("counts: PIs=%d blocks=%d FFs=%d", c.NumPIs(), c.NumBlocks(), c.NumFFs())
+	}
+}
+
+func TestZeroInputBlock(t *testing.T) {
+	c := &Circuit{
+		Name: "const", K: 4,
+		Blocks: []Block{{Name: "one", TT: logic.ConstTT(0, true)}},
+		POs:    []PO{{Name: "y", Src: Source{Kind: SrcBlock, Idx: 0}}},
+	}
+	sim, err := NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := sim.Step(nil); !out["y"] {
+		t.Fatal("constant block broken")
+	}
+}

@@ -1,0 +1,500 @@
+// Package merge implements the key step of the paper: merging several mode
+// LUT circuits into one Tunable circuit via *combined placement* — a
+// simulated annealing over all modes simultaneously in which LUTs of
+// different modes may share a physical logic block and a swap moves one
+// mode's LUT between two sites. Two optimisation objectives are provided:
+//
+//   - circuit edge matching (prior work, Rullmann & Merker): minimise the
+//     number of Tunable connections, i.e. maximise per-mode connections
+//     that share (source site, sink site);
+//   - wire-length optimisation (the paper's novel approach): minimise the
+//     estimated wirelength of the Tunable circuit implied by the current
+//     combined placement, using the same half-perimeter estimate TPlace
+//     uses.
+package merge
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/lutnet"
+	"repro/internal/place"
+	"repro/internal/tunable"
+)
+
+// Objective selects the combined-placement cost function.
+type Objective int
+
+const (
+	// WireLength is the paper's novel wire-length-driven objective.
+	WireLength Objective = iota
+	// EdgeMatch is the circuit-edge-matching objective of prior work.
+	EdgeMatch
+)
+
+func (o Objective) String() string {
+	if o == EdgeMatch {
+		return "edge-match"
+	}
+	return "wire-length"
+}
+
+// Options tunes the combined placement.
+type Options struct {
+	Seed      int64
+	Effort    float64
+	Objective Objective
+}
+
+// Result carries the merged Tunable circuit, the grouping assignment and
+// the entity placement implied by the combined placement.
+type Result struct {
+	Assignment *tunable.Assignment
+	Tunable    *tunable.Circuit
+	// LUTSite[g] is the site of Tunable LUT group g; PadSite[g] of pad
+	// group g.
+	LUTSite []arch.Site
+	PadSite []arch.Site
+	// Cost is the final combined-placement cost (objective-dependent).
+	Cost float64
+	// MatchedConns counts per-mode connections absorbed into shared
+	// Tunable connections.
+	TotalModeConns int
+	TunableConns   int
+}
+
+// Per-mode cell encoding: blocks [0,B), PIs [B,B+P), POs [B+P,B+P+O).
+type modeInfo struct {
+	c          *lutnet.Circuit
+	numBlocks  int
+	numPIs     int
+	numPOs     int
+	sinksOf    [][]int32 // driver cell -> sink cells (dedup)
+	driversFor [][]int32 // sink cell -> driver cells whose net feeds it
+}
+
+func (mi *modeInfo) numCells() int { return mi.numBlocks + mi.numPIs + mi.numPOs }
+
+func (mi *modeInfo) isIO(cell int32) bool { return int(cell) >= mi.numBlocks }
+
+func buildModeInfo(c *lutnet.Circuit) *modeInfo {
+	mi := &modeInfo{
+		c:         c,
+		numBlocks: len(c.Blocks),
+		numPIs:    len(c.PINames),
+		numPOs:    len(c.POs),
+	}
+	mi.sinksOf = make([][]int32, mi.numCells())
+	mi.driversFor = make([][]int32, mi.numCells())
+	for _, nt := range c.Nets() {
+		var drv int32
+		if nt.Src.Kind == lutnet.SrcPI {
+			drv = int32(mi.numBlocks + nt.Src.Idx)
+		} else {
+			drv = int32(nt.Src.Idx)
+		}
+		seen := map[int32]bool{}
+		for _, bp := range nt.BlockIn {
+			s := int32(bp.Block)
+			if !seen[s] {
+				seen[s] = true
+				mi.sinksOf[drv] = append(mi.sinksOf[drv], s)
+				mi.driversFor[s] = append(mi.driversFor[s], drv)
+			}
+		}
+		for _, po := range nt.POSinks {
+			s := int32(mi.numBlocks + mi.numPIs + po)
+			if !seen[s] {
+				seen[s] = true
+				mi.sinksOf[drv] = append(mi.sinksOf[drv], s)
+				mi.driversFor[s] = append(mi.driversFor[s], drv)
+			}
+		}
+	}
+	return mi
+}
+
+// state is the combined-placement state.
+type state struct {
+	modes    []*modeInfo
+	clbSites []arch.Site
+	ioSites  []arch.Site
+	nPos     int
+	// posOf[m][cell], cellAt[m][pos] (-1 empty)
+	posOf  [][]int32
+	cellAt [][]int32
+	// cost per position (as a source site of a tunable net)
+	posCost   []float64
+	objective Objective
+}
+
+func (st *state) siteAt(pos int32) arch.Site {
+	if int(pos) < len(st.clbSites) {
+		return st.clbSites[pos]
+	}
+	return st.ioSites[int(pos)-len(st.clbSites)]
+}
+
+func (st *state) xy(pos int32) (int, int) {
+	s := st.siteAt(pos)
+	return s.X, s.Y
+}
+
+// costAt computes the objective contribution of position p as a source
+// site: the Tunable net rooted at p spans the union of sink sites of the
+// nets driven by the cells (one per mode) placed at p.
+func (st *state) costAt(p int32, scratch map[int32]bool) float64 {
+	for k := range scratch {
+		delete(scratch, k)
+	}
+	hasDriver := false
+	for m, mi := range st.modes {
+		cell := st.cellAt[m][p]
+		if cell < 0 || len(mi.sinksOf[cell]) == 0 {
+			continue
+		}
+		hasDriver = true
+		for _, s := range mi.sinksOf[cell] {
+			scratch[st.posOf[m][s]] = true
+		}
+	}
+	if !hasDriver || len(scratch) == 0 {
+		return 0
+	}
+	if st.objective == EdgeMatch {
+		// Number of Tunable connections rooted here.
+		return float64(len(scratch))
+	}
+	// Wire-length estimate of the Tunable net: q-corrected HPWL over the
+	// union of sink sites plus the source site (same estimator as TPlace).
+	minX, minY := math.MaxInt32, math.MaxInt32
+	maxX, maxY := math.MinInt32, math.MinInt32
+	upd := func(x, y int) {
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	nTerm := 1
+	{
+		x, y := st.xy(p)
+		upd(x, y)
+	}
+	for sp := range scratch {
+		x, y := st.xy(sp)
+		upd(x, y)
+		nTerm++
+	}
+	return place.QFactor(nTerm) * float64((maxX-minX)+(maxY-minY))
+}
+
+func (st *state) totalCost() float64 {
+	t := 0.0
+	for _, c := range st.posCost {
+		t += c
+	}
+	return t
+}
+
+// affectedPositions lists the source positions whose tunable net changes
+// when cell (m, c) moves: its own position (as driver site), and the
+// positions of all drivers feeding it.
+func (st *state) affected(m int, c int32, into map[int32]bool) {
+	into[st.posOf[m][c]] = true
+	for _, d := range st.modes[m].driversFor[c] {
+		into[st.posOf[m][d]] = true
+	}
+}
+
+// CombinedPlace runs the multi-mode simulated annealing and extracts the
+// resulting Tunable circuit.
+func CombinedPlace(name string, modes []*lutnet.Circuit, a arch.Arch, opt Options) (*Result, error) {
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("merge: no modes")
+	}
+	if opt.Effort <= 0 {
+		opt.Effort = 1.0
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	st := &state{
+		clbSites:  a.CLBSites(),
+		ioSites:   a.IOSites(),
+		objective: opt.Objective,
+	}
+	st.nPos = len(st.clbSites) + len(st.ioSites)
+	for _, c := range modes {
+		mi := buildModeInfo(c)
+		if mi.numBlocks > len(st.clbSites) {
+			return nil, fmt.Errorf("merge: mode %q has %d blocks for %d CLB sites", c.Name, mi.numBlocks, len(st.clbSites))
+		}
+		if mi.numPIs+mi.numPOs > len(st.ioSites) {
+			return nil, fmt.Errorf("merge: mode %q has %d IOs for %d pad sites", c.Name, mi.numPIs+mi.numPOs, len(st.ioSites))
+		}
+		st.modes = append(st.modes, mi)
+	}
+
+	// Random legal initial placement per mode.
+	st.posOf = make([][]int32, len(st.modes))
+	st.cellAt = make([][]int32, len(st.modes))
+	for m, mi := range st.modes {
+		st.posOf[m] = make([]int32, mi.numCells())
+		st.cellAt[m] = make([]int32, st.nPos)
+		for p := range st.cellAt[m] {
+			st.cellAt[m][p] = -1
+		}
+		clbPerm := rng.Perm(len(st.clbSites))
+		ioPerm := rng.Perm(len(st.ioSites))
+		for c := int32(0); int(c) < mi.numCells(); c++ {
+			var pos int32
+			if mi.isIO(c) {
+				pos = int32(len(st.clbSites) + ioPerm[int(c)-mi.numBlocks])
+			} else {
+				pos = int32(clbPerm[c])
+			}
+			st.posOf[m][c] = pos
+			st.cellAt[m][pos] = c
+		}
+	}
+	st.posCost = make([]float64, st.nPos)
+	scratch := map[int32]bool{}
+	for p := int32(0); int(p) < st.nPos; p++ {
+		st.posCost[p] = st.costAt(p, scratch)
+	}
+
+	anneal(st, a, opt, rng)
+
+	return extract(name, modes, st)
+}
+
+// doSwap exchanges the mode-m occupants of posA and posB.
+func (st *state) doSwap(m int, posA, posB int32) {
+	ca, cb := st.cellAt[m][posA], st.cellAt[m][posB]
+	st.cellAt[m][posA], st.cellAt[m][posB] = cb, ca
+	if ca >= 0 {
+		st.posOf[m][ca] = posB
+	}
+	if cb >= 0 {
+		st.posOf[m][cb] = posA
+	}
+}
+
+func anneal(st *state, a arch.Arch, opt Options, rng *rand.Rand) {
+	nCells := 0
+	for _, mi := range st.modes {
+		nCells += mi.numCells()
+	}
+	if nCells == 0 {
+		return
+	}
+	span := a.Width + a.Height
+	scratch := map[int32]bool{}
+	affected := map[int32]bool{}
+
+	// evalSwap computes the cost delta of swapping (m, posA, posB),
+	// leaving the swap applied; the returned undo map restores posCost.
+	evalSwap := func(m int, posA, posB int32) (float64, map[int32]float64) {
+		for k := range affected {
+			delete(affected, k)
+		}
+		ca, cb := st.cellAt[m][posA], st.cellAt[m][posB]
+		if ca >= 0 {
+			st.affected(m, ca, affected)
+		}
+		if cb >= 0 {
+			st.affected(m, cb, affected)
+		}
+		affected[posA] = true
+		affected[posB] = true
+		st.doSwap(m, posA, posB)
+		delta := 0.0
+		old := map[int32]float64{}
+		for p := range affected {
+			old[p] = st.posCost[p]
+			nc := st.costAt(p, scratch)
+			delta += nc - st.posCost[p]
+			st.posCost[p] = nc
+		}
+		return delta, old
+	}
+	undo := func(m int, posA, posB int32, old map[int32]float64) {
+		st.doSwap(m, posA, posB)
+		for p, c := range old {
+			st.posCost[p] = c
+		}
+	}
+
+	pick := func(rlim float64) (int, int32, int32, bool) {
+		m := rng.Intn(len(st.modes))
+		mi := st.modes[m]
+		if mi.numCells() == 0 {
+			return 0, 0, 0, false
+		}
+		c := int32(rng.Intn(mi.numCells()))
+		posA := st.posOf[m][c]
+		var posB int32
+		if mi.isIO(c) {
+			posB = int32(len(st.clbSites) + rng.Intn(len(st.ioSites)))
+		} else {
+			sa := st.siteAt(posA)
+			r := int(rlim)
+			if r < 1 {
+				r = 1
+			}
+			x := clampInt(sa.X+rng.Intn(2*r+1)-r, 1, a.Width)
+			y := clampInt(sa.Y+rng.Intn(2*r+1)-r, 1, a.Height)
+			posB = int32((y-1)*a.Width + (x - 1))
+		}
+		if posB == posA {
+			return 0, 0, 0, false
+		}
+		return m, posA, posB, true
+	}
+
+	// Initial temperature from a random walk.
+	var deltas []float64
+	for i := 0; i < nCells; i++ {
+		m, posA, posB, ok := pick(float64(span))
+		if !ok {
+			continue
+		}
+		d, _ := evalSwap(m, posA, posB)
+		deltas = append(deltas, d)
+	}
+	sigma := stddev(deltas)
+	sch := place.NewSchedule(sigma, span, nCells, opt.Effort)
+
+	nNets := 0
+	for _, mi := range st.modes {
+		for _, s := range mi.sinksOf {
+			if len(s) > 0 {
+				nNets++
+			}
+		}
+	}
+	if nNets == 0 {
+		nNets = 1
+	}
+
+	for {
+		for mv := 0; mv < sch.Moves; mv++ {
+			m, posA, posB, ok := pick(sch.RLim)
+			if !ok {
+				continue
+			}
+			d, old := evalSwap(m, posA, posB)
+			if d <= 0 || rng.Float64() < math.Exp(-d/sch.T) {
+				sch.Record(true)
+			} else {
+				undo(m, posA, posB, old)
+				sch.Record(false)
+			}
+		}
+		if !sch.Next(st.totalCost()/float64(nNets), span) {
+			break
+		}
+	}
+}
+
+// extract converts the final combined placement into an Assignment, a
+// Tunable circuit and per-group sites.
+func extract(name string, modes []*lutnet.Circuit, st *state) (*Result, error) {
+	asg := &tunable.Assignment{
+		BlockGroup: make([][]int, len(modes)),
+		PIGroup:    make([][]int, len(modes)),
+		POGroup:    make([][]int, len(modes)),
+	}
+	lutGroupOf := map[int32]int{} // CLB position -> group
+	padGroupOf := map[int32]int{} // IO position -> group
+	var lutSites, padSites []arch.Site
+
+	lutGroup := func(pos int32) int {
+		if g, ok := lutGroupOf[pos]; ok {
+			return g
+		}
+		g := len(lutSites)
+		lutGroupOf[pos] = g
+		lutSites = append(lutSites, st.siteAt(pos))
+		return g
+	}
+	padGroup := func(pos int32) int {
+		if g, ok := padGroupOf[pos]; ok {
+			return g
+		}
+		g := len(padSites)
+		padGroupOf[pos] = g
+		padSites = append(padSites, st.siteAt(pos))
+		return g
+	}
+
+	for m, mi := range st.modes {
+		asg.BlockGroup[m] = make([]int, mi.numBlocks)
+		for b := 0; b < mi.numBlocks; b++ {
+			asg.BlockGroup[m][b] = lutGroup(st.posOf[m][b])
+		}
+		asg.PIGroup[m] = make([]int, mi.numPIs)
+		for i := 0; i < mi.numPIs; i++ {
+			asg.PIGroup[m][i] = padGroup(st.posOf[m][int32(mi.numBlocks+i)])
+		}
+		asg.POGroup[m] = make([]int, mi.numPOs)
+		for o := 0; o < mi.numPOs; o++ {
+			asg.POGroup[m][o] = padGroup(st.posOf[m][int32(mi.numBlocks+mi.numPIs+o)])
+		}
+	}
+	asg.NumLUTGroups = len(lutSites)
+	asg.NumPadGroups = len(padSites)
+
+	tc, err := tunable.Merge(name, modes, asg)
+	if err != nil {
+		return nil, fmt.Errorf("merge: extract: %w", err)
+	}
+	res := &Result{
+		Assignment: asg,
+		Tunable:    tc,
+		LUTSite:    lutSites,
+		PadSite:    padSites,
+		Cost:       st.totalCost(),
+	}
+	stats := tc.Stats()
+	res.TunableConns = stats.NumConns
+	for _, n := range stats.PerModeConn {
+		res.TotalModeConns += n
+	}
+	return res, nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}

@@ -1,0 +1,113 @@
+// Package mode provides the mode algebra of the multi-mode tool flow: sets
+// of modes (used as activation functions of Tunable connections and as the
+// value vectors of parameterised configuration bits) and their rendering as
+// Boolean expressions over the binary mode word m_{k-1}..m_0.
+package mode
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/logic"
+)
+
+// MaxModes bounds the number of modes of a multi-mode circuit (the mode
+// word must fit logic.MaxVars bits; 2^6 = 64 modes is far beyond the
+// paper's 2-mode experiments).
+const MaxModes = 64
+
+// Set is a set of mode indices, as a bitmask. As an activation function it
+// reads "active exactly in these modes"; as a parameterised configuration
+// bit it reads "1 exactly in these modes".
+type Set uint64
+
+// Single returns the set containing only mode m.
+func Single(m int) Set {
+	if m < 0 || m >= MaxModes {
+		panic(fmt.Sprintf("mode: index %d out of range", m))
+	}
+	return Set(1) << uint(m)
+}
+
+// All returns the set of all n modes.
+func All(n int) Set {
+	if n < 0 || n > MaxModes {
+		panic(fmt.Sprintf("mode: count %d out of range", n))
+	}
+	if n == MaxModes {
+		return ^Set(0)
+	}
+	return Set(1)<<uint(n) - 1
+}
+
+// Contains reports whether mode m is in the set.
+func (s Set) Contains(m int) bool { return s>>uint(m)&1 == 1 }
+
+// With returns s ∪ {m}.
+func (s Set) With(m int) Set { return s | Single(m) }
+
+// Union returns s ∪ o.
+func (s Set) Union(o Set) Set { return s | o }
+
+// Intersect returns s ∩ o.
+func (s Set) Intersect(o Set) Set { return s & o }
+
+// Count returns the number of modes in the set.
+func (s Set) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Empty reports whether the set is empty.
+func (s Set) Empty() bool { return s == 0 }
+
+// IsAll reports whether the set covers all n modes (the activation function
+// is the constant True — no reconfiguration ever needed).
+func (s Set) IsAll(n int) bool { return s == All(n) }
+
+// NumModeBits returns the number of bits of the binary mode word for n
+// modes (⌈log2 n⌉, at least 1).
+func NumModeBits(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// TT converts the set to a truth table over the mode-word bits, treating
+// the unused encodings (≥ numModes) as 0.
+func (s Set) TT(numModes int) logic.TT {
+	nb := NumModeBits(numModes)
+	tt := logic.ConstTT(nb, false)
+	for m := 0; m < numModes; m++ {
+		if s.Contains(m) {
+			tt = tt.Set(m, true)
+		}
+	}
+	return tt
+}
+
+// Expression renders the set as a minimised sum-of-products over the mode
+// bits m0..mk ("1" when active in all modes, "0" when empty). Unused mode
+// encodings are treated as off-set, matching a reconfiguration manager that
+// only ever writes valid mode numbers.
+func (s Set) Expression(numModes int) string {
+	if s.IsAll(numModes) {
+		return "1"
+	}
+	nb := NumModeBits(numModes)
+	names := make([]string, nb)
+	for i := range names {
+		names[i] = fmt.Sprintf("m%d", i)
+	}
+	return logic.Minimize(s.TT(numModes)).String(names)
+}
+
+// VectorSet builds the set of modes in which a per-mode Boolean vector is
+// true.
+func VectorSet(values []bool) Set {
+	var s Set
+	for m, v := range values {
+		if v {
+			s = s.With(m)
+		}
+	}
+	return s
+}

@@ -1,0 +1,107 @@
+package mode
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleAndContains(t *testing.T) {
+	s := Single(3)
+	if !s.Contains(3) || s.Contains(0) || s.Count() != 1 {
+		t.Errorf("Single(3) misbehaves: %b", s)
+	}
+}
+
+func TestAll(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		s := All(n)
+		if s.Count() != n {
+			t.Errorf("All(%d).Count = %d", n, s.Count())
+		}
+		if !s.IsAll(n) {
+			t.Errorf("All(%d) not IsAll", n)
+		}
+	}
+}
+
+func TestNumModeBits(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4}
+	for n, want := range cases {
+		if got := NumModeBits(n); got != want {
+			t.Errorf("NumModeBits(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestExpressionTwoModes(t *testing.T) {
+	// The paper's running example: 2 modes, 1 mode bit.
+	if got := Single(0).Expression(2); got != "!m0" {
+		t.Errorf("mode0 activation = %q, want !m0", got)
+	}
+	if got := Single(1).Expression(2); got != "m0" {
+		t.Errorf("mode1 activation = %q, want m0", got)
+	}
+	if got := All(2).Expression(2); got != "1" {
+		t.Errorf("shared activation = %q, want 1 (m0 + !m0 simplifies)", got)
+	}
+	if got := Set(0).Expression(2); got != "0" {
+		t.Errorf("empty activation = %q, want 0", got)
+	}
+}
+
+func TestExpressionThreeModes(t *testing.T) {
+	// 3 modes, 2 mode bits; mode 2 is encoded 10: m1.!m0, but encoding 11
+	// is unused off-set so the minimiser may keep m1 alone.
+	got := Single(2).Expression(3)
+	if got != "m1" && got != "!m0.m1" {
+		t.Errorf("mode2 activation = %q", got)
+	}
+	tt := Single(2).TT(3)
+	if !tt.Get(2) || tt.Get(0) || tt.Get(1) {
+		t.Errorf("TT wrong: %s", tt)
+	}
+}
+
+func TestVectorSet(t *testing.T) {
+	s := VectorSet([]bool{true, false, true})
+	if !s.Contains(0) || s.Contains(1) || !s.Contains(2) {
+		t.Errorf("VectorSet = %b", s)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := Single(0).With(2)
+	b := Single(1).With(2)
+	if u := a.Union(b); u.Count() != 3 {
+		t.Errorf("union count = %d", u.Count())
+	}
+	if i := a.Intersect(b); i != Single(2) {
+		t.Errorf("intersect = %b", i)
+	}
+	if !Set(0).Empty() || a.Empty() {
+		t.Error("Empty misbehaves")
+	}
+}
+
+func TestQuickExpressionMatchesSet(t *testing.T) {
+	// The rendered TT must evaluate true exactly on in-set mode encodings.
+	f := func(raw uint8) bool {
+		const numModes = 5
+		s := Set(raw) & All(numModes)
+		tt := s.TT(numModes)
+		for m := 0; m < numModes; m++ {
+			if tt.Get(m) != s.Contains(m) {
+				return false
+			}
+		}
+		for enc := numModes; enc < tt.NumRows(); enc++ {
+			if tt.Get(enc) {
+				return false // unused encodings must be off
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+package netlist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const sampleBLIF = `
+# a 2-bit counter with an enable
+.model cnt2
+.inputs en
+.outputs q0 q1
+.latch d0 q0 re clk 0
+.latch d1 q1 re clk 0
+.names en q0 d0
+10 1
+01 1
+.names en q0 q1 d1
+110 1
+0-1 1
+101 1
+.end
+`
+
+func TestReadBLIF(t *testing.T) {
+	n, err := ReadBLIF(strings.NewReader(sampleBLIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "cnt2" {
+		t.Errorf("model name %q", n.Name)
+	}
+	st := n.Stats()
+	if st.Inputs != 1 || st.Outputs != 2 || st.Latches != 2 || st.Gates != 2 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestBLIFCounterBehaviour(t *testing.T) {
+	n, err := ReadBLIF(strings.NewReader(sampleBLIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(n)
+	// d0 = en XOR q0, d1 = (en AND q0) XOR q1: a 2-bit counter when en=1.
+	for cyc := 0; cyc < 8; cyc++ {
+		out := sim.Step(map[string]bool{"en": true})
+		got := 0
+		if out["q0"] {
+			got |= 1
+		}
+		if out["q1"] {
+			got |= 2
+		}
+		if want := cyc % 4; got != want {
+			t.Fatalf("cycle %d: got %d want %d", cyc, got, want)
+		}
+	}
+	// With en=0 the counter holds.
+	sim.Reset()
+	for cyc := 0; cyc < 3; cyc++ {
+		out := sim.Step(map[string]bool{"en": false})
+		if out["q0"] || out["q1"] {
+			t.Fatalf("cycle %d: counter moved with en=0", cyc)
+		}
+	}
+}
+
+func TestBLIFMixedCoverRejected(t *testing.T) {
+	bad := `.model m
+.inputs a b
+.outputs y
+.names a b y
+11 1
+00 0
+.end`
+	if _, err := ReadBLIF(strings.NewReader(bad)); err == nil {
+		t.Fatal("expected mixed-cover error")
+	}
+}
+
+func TestBLIFOffsetCover(t *testing.T) {
+	src := `.model m
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end`
+	n, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(n)
+	for row := 0; row < 4; row++ {
+		in := map[string]bool{"a": row&1 == 1, "b": row&2 == 2}
+		want := !(in["a"] && in["b"])
+		if out := sim.Step(in); out["y"] != want {
+			t.Fatalf("row %d: got %v want %v", row, out["y"], want)
+		}
+	}
+}
+
+func TestBLIFUndrivenSignal(t *testing.T) {
+	bad := `.model m
+.inputs a
+.outputs y
+.names a ghost y
+11 1
+.end`
+	if _, err := ReadBLIF(strings.NewReader(bad)); err == nil {
+		t.Fatal("expected undriven-signal error")
+	}
+}
+
+func TestBLIFRoundTripEquivalence(t *testing.T) {
+	// Build a random sequential netlist, write BLIF, read it back and check
+	// cycle-by-cycle IO equivalence on random stimulus.
+	rng := rand.New(rand.NewSource(42))
+	b := NewBuilder("rand")
+	sigs := b.InputVector("in", 5)
+	for i := 0; i < 40; i++ {
+		x := sigs[rng.Intn(len(sigs))]
+		y := sigs[rng.Intn(len(sigs))]
+		var s int
+		switch rng.Intn(5) {
+		case 0:
+			s = b.And(x, y)
+		case 1:
+			s = b.Or(x, y)
+		case 2:
+			s = b.Xor(x, y)
+		case 3:
+			s = b.Not(x)
+		default:
+			s = b.Latch(x, rng.Intn(2) == 0)
+		}
+		sigs = append(sigs, s)
+	}
+	for i := 0; i < 4; i++ {
+		b.Output(keyOf("out", i), sigs[len(sigs)-1-i])
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBLIF(&buf, b.N); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ReadBLIF(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-read: %v\n%s", err, buf.String())
+	}
+
+	s1 := NewSimulator(b.N)
+	s2 := NewSimulator(n2)
+	for cyc := 0; cyc < 64; cyc++ {
+		in := map[string]bool{}
+		for i := 0; i < 5; i++ {
+			in[keyOf("in", i)] = rng.Intn(2) == 0
+		}
+		o1 := s1.Step(in)
+		o2 := s2.Step(in)
+		for k, v := range o1 {
+			if o2[k] != v {
+				t.Fatalf("cycle %d output %s: original %v, round-trip %v", cyc, k, v, o2[k])
+			}
+		}
+	}
+}
+
+func TestBLIFLineContinuation(t *testing.T) {
+	src := ".model m\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n"
+	n, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.CountKind(KindInput) != 2 {
+		t.Fatalf("inputs = %d, want 2", n.CountKind(KindInput))
+	}
+}
+
+func TestBLIFConstantGate(t *testing.T) {
+	src := ".model m\n.outputs y\n.names y\n1\n.end\n"
+	n, err := ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(n)
+	if out := sim.Step(nil); !out["y"] {
+		t.Fatal("constant-1 gate read as 0")
+	}
+}

@@ -1,0 +1,206 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestBuildAndStats(t *testing.T) {
+	b := NewBuilder("adder")
+	a := b.InputVector("a", 4)
+	c := b.InputVector("b", 4)
+	sum := b.RippleAdd(a, c)
+	b.OutputVector("s", sum)
+	st := b.N.Stats()
+	if st.Inputs != 8 || st.Outputs != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := b.N.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimRippleAdd(t *testing.T) {
+	b := NewBuilder("adder")
+	a := b.InputVector("a", 6)
+	c := b.InputVector("b", 6)
+	sum := b.RippleAdd(a, c)
+	b.OutputVector("s", sum)
+	sim := NewSimulator(b.N)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		av, bv := rng.Intn(64), rng.Intn(64)
+		in := map[string]bool{}
+		for i := 0; i < 6; i++ {
+			in[keyOf("a", i)] = av>>uint(i)&1 == 1
+			in[keyOf("b", i)] = bv>>uint(i)&1 == 1
+		}
+		out := sim.Step(in)
+		got := 0
+		for i := 0; i < 7; i++ {
+			if out[keyOf("s", i)] {
+				got |= 1 << uint(i)
+			}
+		}
+		if got != av+bv {
+			t.Fatalf("%d+%d = %d, got %d", av, bv, av+bv, got)
+		}
+	}
+}
+
+func TestSimRippleSub(t *testing.T) {
+	b := NewBuilder("sub")
+	a := b.InputVector("a", 5)
+	c := b.InputVector("b", 5)
+	d := b.RippleSub(a, c)
+	b.OutputVector("d", d)
+	sim := NewSimulator(b.N)
+	for av := 0; av < 32; av += 3 {
+		for bv := 0; bv < 32; bv += 5 {
+			in := map[string]bool{}
+			for i := 0; i < 5; i++ {
+				in[keyOf("a", i)] = av>>uint(i)&1 == 1
+				in[keyOf("b", i)] = bv>>uint(i)&1 == 1
+			}
+			out := sim.Step(in)
+			got := 0
+			for i := 0; i < 5; i++ {
+				if out[keyOf("d", i)] {
+					got |= 1 << uint(i)
+				}
+			}
+			want := (av - bv) & 31
+			if got != want {
+				t.Fatalf("%d-%d mod 32 = %d, got %d", av, bv, want, got)
+			}
+		}
+	}
+}
+
+func keyOf(prefix string, i int) string {
+	return fmt.Sprintf("%s[%d]", prefix, i)
+}
+
+func TestLatchCounter(t *testing.T) {
+	// 2-bit counter built from latches, an inverter and an xor; forward
+	// references require wiring the latch fanins manually.
+	n := New("cnt")
+	l0 := n.AddLatchPlaceholder("q0", false)
+	l1 := n.AddLatchPlaceholder("q1", false)
+	inv := n.AddGate("d0", logic.VarTT(1, 0).Not(), l0)
+	x := n.AddGate("d1", logic.VarTT(2, 0).Xor(logic.VarTT(2, 1)), l0, l1)
+	n.SetLatchData(l0, inv)
+	n.SetLatchData(l1, x)
+	n.AddOutput("q0", l0)
+	n.AddOutput("q1", l1)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(n)
+	want := []int{0, 1, 2, 3, 0, 1}
+	for cyc, w := range want {
+		out := sim.Step(nil)
+		got := 0
+		if out["q0"] {
+			got |= 1
+		}
+		if out["q1"] {
+			got |= 2
+		}
+		if got != w {
+			t.Fatalf("cycle %d: counter = %d, want %d", cyc, got, w)
+		}
+	}
+}
+
+func TestTopoOrderRespectsDeps(t *testing.T) {
+	b := NewBuilder("topo")
+	x := b.Input("x")
+	y := b.Not(x)
+	z := b.And(x, y)
+	b.Output("z", z)
+	pos := map[int]int{}
+	for i, id := range b.N.TopoOrder() {
+		pos[id] = i
+	}
+	if pos[y] < pos[x] || pos[z] < pos[y] {
+		t.Fatalf("topological order violated: %v", pos)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	b := NewBuilder("depth")
+	x := b.Input("x")
+	s := x
+	for i := 0; i < 5; i++ {
+		s = b.Not(s)
+	}
+	b.Output("y", s)
+	if d := b.N.Depth(); d != 5 {
+		t.Fatalf("Depth = %d, want 5", d)
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	n := New("cyc")
+	in := n.AddInput("in")
+	g1 := n.AddGate("g1", logic.VarTT(1, 0), in)
+	g2 := n.AddGate("g2", logic.VarTT(1, 0), g1)
+	n.Nodes[g1].Fanins[0] = g2
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected cycle detection")
+	}
+}
+
+func TestDuplicateNamesDisambiguated(t *testing.T) {
+	n := New("dup")
+	a := n.AddInput("x")
+	bID := n.AddInput("x")
+	if n.Nodes[a].Name == n.Nodes[bID].Name {
+		t.Fatal("duplicate node names not disambiguated")
+	}
+}
+
+func TestEqualsConst(t *testing.T) {
+	b := NewBuilder("eq")
+	v := b.InputVector("v", 4)
+	e := b.EqualsConst(v, 0b1010)
+	b.Output("e", e)
+	sim := NewSimulator(b.N)
+	for val := 0; val < 16; val++ {
+		in := map[string]bool{}
+		for i := 0; i < 4; i++ {
+			in[keyOf("v", i)] = val>>uint(i)&1 == 1
+		}
+		out := sim.Step(in)
+		if out["e"] != (val == 0b1010) {
+			t.Fatalf("EqualsConst(%04b) = %v", val, out["e"])
+		}
+	}
+}
+
+func TestMuxGate(t *testing.T) {
+	b := NewBuilder("mux")
+	s := b.Input("s")
+	lo := b.Input("lo")
+	hi := b.Input("hi")
+	b.Output("y", b.Mux(s, lo, hi))
+	sim := NewSimulator(b.N)
+	for row := 0; row < 8; row++ {
+		in := map[string]bool{
+			"s":  row&1 == 1,
+			"lo": row&2 == 2,
+			"hi": row&4 == 4,
+		}
+		want := in["lo"]
+		if in["s"] {
+			want = in["hi"]
+		}
+		if out := sim.Step(in); out["y"] != want {
+			t.Fatalf("mux row %03b: got %v want %v", row, out["y"], want)
+		}
+	}
+}

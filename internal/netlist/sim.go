@@ -1,0 +1,84 @@
+package netlist
+
+import "fmt"
+
+// Simulator evaluates a netlist cycle by cycle. Latch state is held between
+// Step calls; inputs are provided by name each cycle.
+type Simulator struct {
+	n     *Netlist
+	order []int
+	value []bool
+	state map[int]bool // latch id -> current Q
+}
+
+// NewSimulator creates a simulator with all latches at their initial state.
+func NewSimulator(n *Netlist) *Simulator {
+	s := &Simulator{
+		n:     n,
+		order: n.TopoOrder(),
+		value: make([]bool, len(n.Nodes)),
+		state: map[int]bool{},
+	}
+	s.Reset()
+	return s
+}
+
+// Reset restores every latch to its declared initial value.
+func (s *Simulator) Reset() {
+	for _, nd := range s.n.Nodes {
+		if nd.Kind == KindLatch {
+			s.state[nd.ID] = nd.Init
+		}
+	}
+}
+
+// Step applies one clock cycle: it evaluates the combinational logic with
+// the given primary-input values and current latch state, returns the
+// primary-output values, and then advances all latches.
+func (s *Simulator) Step(inputs map[string]bool) map[string]bool {
+	for _, id := range s.order {
+		nd := s.n.Nodes[id]
+		switch nd.Kind {
+		case KindInput:
+			v, ok := inputs[nd.Name]
+			if !ok {
+				panic(fmt.Sprintf("netlist: simulator missing value for input %q", nd.Name))
+			}
+			s.value[id] = v
+		case KindLatch:
+			s.value[id] = s.state[id]
+		case KindGate:
+			var row uint
+			for i, f := range nd.Fanins {
+				if s.value[f] {
+					row |= 1 << uint(i)
+				}
+			}
+			s.value[id] = nd.Func.Eval(row)
+		}
+	}
+	out := make(map[string]bool, len(s.n.Outputs))
+	for _, o := range s.n.Outputs {
+		out[o.Name] = s.value[o.Driver]
+	}
+	for _, nd := range s.n.Nodes {
+		if nd.Kind == KindLatch {
+			s.state[nd.ID] = s.value[nd.Fanins[0]]
+		}
+	}
+	return out
+}
+
+// Value returns the value computed for node id in the latest Step.
+func (s *Simulator) Value(id int) bool { return s.value[id] }
+
+// InputNames returns the primary input names of the simulated netlist.
+func (s *Simulator) InputNames() []string {
+	var names []string
+	for _, nd := range s.n.Nodes {
+		if nd.Kind == KindInput {
+			names = append(names, nd.Name)
+		}
+	}
+	return names
+}

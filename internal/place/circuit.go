@@ -1,0 +1,70 @@
+package place
+
+import (
+	"repro/internal/lutnet"
+)
+
+// CircuitCells maps a mapped circuit onto placement cells: one cell per
+// logic block, one pad cell per PI and one per PO. Cell indexing:
+// blocks [0, B), PIs [B, B+P), POs [B+P, B+P+O).
+type CircuitCells struct {
+	Circuit *lutnet.Circuit
+	NumBlk  int
+	NumPI   int
+	NumPO   int
+}
+
+// BlockCell returns the cell index of logic block b.
+func (cc CircuitCells) BlockCell(b int) int { return b }
+
+// PICell returns the cell index of primary input pi.
+func (cc CircuitCells) PICell(pi int) int { return cc.NumBlk + pi }
+
+// POCell returns the cell index of primary output po.
+func (cc CircuitCells) POCell(po int) int { return cc.NumBlk + cc.NumPI + po }
+
+// SourceCell returns the cell driving the given signal source.
+func (cc CircuitCells) SourceCell(s lutnet.Source) int {
+	if s.Kind == lutnet.SrcPI {
+		return cc.PICell(s.Idx)
+	}
+	return cc.BlockCell(s.Idx)
+}
+
+// FromCircuit builds a placement problem from a mapped circuit: every net
+// becomes a bounding-box net over its driver and sink cells.
+func FromCircuit(c *lutnet.Circuit) (*Problem, CircuitCells) {
+	cc := CircuitCells{Circuit: c, NumBlk: len(c.Blocks), NumPI: len(c.PINames), NumPO: len(c.POs)}
+	p := &Problem{}
+	for i := range c.Blocks {
+		p.Cells = append(p.Cells, Cell{Name: c.Blocks[i].Name})
+	}
+	for _, nm := range c.PINames {
+		p.Cells = append(p.Cells, Cell{Name: nm, IsIO: true})
+	}
+	for _, po := range c.POs {
+		p.Cells = append(p.Cells, Cell{Name: po.Name, IsIO: true})
+	}
+	for _, nt := range c.Nets() {
+		cells := []int{cc.SourceCell(nt.Src)}
+		seen := map[int]bool{cells[0]: true}
+		for _, bp := range nt.BlockIn {
+			c := cc.BlockCell(bp.Block)
+			if !seen[c] {
+				seen[c] = true
+				cells = append(cells, c)
+			}
+		}
+		for _, po := range nt.POSinks {
+			c := cc.POCell(po)
+			if !seen[c] {
+				seen[c] = true
+				cells = append(cells, c)
+			}
+		}
+		if len(cells) > 1 {
+			p.Nets = append(p.Nets, Net{Cells: cells, Weight: 1})
+		}
+	}
+	return p, cc
+}

@@ -1,0 +1,474 @@
+// Package place implements a VPR-style wirelength-driven simulated-
+// annealing placer for island FPGAs: half-perimeter bounding-box cost with
+// the q(n) pin-count correction, an adaptive temperature schedule, and
+// range-limited swap moves. The same engine places ordinary mapped
+// circuits (the MDR flow), and Tunable circuits after merging (TPlace) —
+// both reduce to the generic cell/net Problem below.
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/arch"
+)
+
+// Cell is a movable object: a logic block (CLB site) or an I/O (pad site).
+type Cell struct {
+	Name string
+	IsIO bool
+}
+
+// Net connects a set of cells; the bounding box over their locations gives
+// its wirelength estimate.
+type Net struct {
+	Cells  []int
+	Weight float64
+}
+
+// Problem is a placement instance.
+type Problem struct {
+	Cells []Cell
+	Nets  []Net
+}
+
+// Placement assigns every cell a site.
+type Placement struct {
+	SiteOf []arch.Site
+	Cost   float64
+}
+
+// QFactor compensates HPWL underestimation for multi-terminal nets
+// (Cheng/VPR table: 1.0 up to 3 terminals, growing to 2.79 at 50).
+func QFactor(terminals int) float64 {
+	q := []float64{
+		1.0, 1.0, 1.0, 1.0, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991,
+		1.4493, 1.4974, 1.5455, 1.5937, 1.6418, 1.6899, 1.7304, 1.7709, 1.8114, 1.8519,
+		1.8924, 1.9288, 1.9652, 2.0015, 2.0379, 2.0743, 2.1061, 2.1379, 2.1698, 2.2016,
+		2.2334, 2.2646, 2.2958, 2.3271, 2.3583, 2.3895, 2.4187, 2.4479, 2.4772, 2.5064,
+		2.5356, 2.5610, 2.5864, 2.6117, 2.6371, 2.6625, 2.6887, 2.7148, 2.7410, 2.7671,
+		2.7933,
+	}
+	if terminals < len(q) {
+		return q[terminals]
+	}
+	return q[len(q)-1] + 0.02616*float64(terminals-len(q)+1)
+}
+
+// HPWL returns the q-corrected half-perimeter wirelength of one net under
+// the location function loc.
+func HPWL(cells []int, weight float64, loc func(int) (int, int)) float64 {
+	if len(cells) == 0 {
+		return 0
+	}
+	minX, minY := math.MaxInt32, math.MaxInt32
+	maxX, maxY := math.MinInt32, math.MinInt32
+	for _, c := range cells {
+		x, y := loc(c)
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	return weight * QFactor(len(cells)) * float64((maxX-minX)+(maxY-minY))
+}
+
+// Options tunes the annealer.
+type Options struct {
+	Seed   int64
+	Effort float64 // scales moves per temperature; 1.0 ≈ VPR inner_num 10
+	// Init seeds the annealer with an existing placement (one site per
+	// cell) instead of a random start; the schedule then opens at a
+	// refinement temperature so the seed is improved, not destroyed.
+	Init []arch.Site
+	// RefineTempFraction scales the usual starting temperature when Init
+	// is set (default 0.1).
+	RefineTempFraction float64
+}
+
+// Place runs simulated annealing and returns a legal placement.
+func Place(p *Problem, a arch.Arch, opt Options) (*Placement, error) {
+	if opt.Effort <= 0 {
+		opt.Effort = 1.0
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	clbSites := a.CLBSites()
+	ioSites := a.IOSites()
+	nCLBCells, nIOCells := 0, 0
+	for _, c := range p.Cells {
+		if c.IsIO {
+			nIOCells++
+		} else {
+			nCLBCells++
+		}
+	}
+	if nCLBCells > len(clbSites) {
+		return nil, fmt.Errorf("place: %d logic cells exceed %d CLB sites", nCLBCells, len(clbSites))
+	}
+	if nIOCells > len(ioSites) {
+		return nil, fmt.Errorf("place: %d IO cells exceed %d pad sites", nIOCells, len(ioSites))
+	}
+
+	st, err := newState(p, clbSites, ioSites, rng, opt.Init)
+	if err != nil {
+		return nil, err
+	}
+	anneal(st, a, opt, rng)
+
+	pl := &Placement{SiteOf: make([]arch.Site, len(p.Cells))}
+	for c := range p.Cells {
+		pl.SiteOf[c] = st.siteAt(st.posOf[c])
+	}
+	pl.Cost = st.totalCost()
+	return pl, nil
+}
+
+// state holds occupancy and incremental cost bookkeeping. Site positions
+// are flattened: CLB sites first, then IO sites.
+type state struct {
+	p        *Problem
+	clbSites []arch.Site
+	ioSites  []arch.Site
+	posOf    []int // cell -> position
+	cellAt   []int // position -> cell (-1 empty)
+	netsOf   [][]int
+	netCost  []float64
+}
+
+func newState(p *Problem, clbSites, ioSites []arch.Site, rng *rand.Rand, init []arch.Site) (*state, error) {
+	st := &state{
+		p:        p,
+		clbSites: clbSites,
+		ioSites:  ioSites,
+		posOf:    make([]int, len(p.Cells)),
+		cellAt:   make([]int, len(clbSites)+len(ioSites)),
+		netsOf:   make([][]int, len(p.Cells)),
+		netCost:  make([]float64, len(p.Nets)),
+	}
+	for i := range st.cellAt {
+		st.cellAt[i] = -1
+	}
+	if init != nil {
+		if len(init) != len(p.Cells) {
+			return nil, fmt.Errorf("place: init covers %d cells, want %d", len(init), len(p.Cells))
+		}
+		posBySite := map[arch.Site]int{}
+		for i, s := range clbSites {
+			posBySite[s] = i
+		}
+		for i, s := range ioSites {
+			posBySite[s] = len(clbSites) + i
+		}
+		for c, s := range init {
+			pos, ok := posBySite[s]
+			if !ok {
+				return nil, fmt.Errorf("place: init site %v not in architecture", s)
+			}
+			if st.cellAt[pos] >= 0 {
+				return nil, fmt.Errorf("place: init places two cells on %v", s)
+			}
+			if p.Cells[c].IsIO != s.IsIO {
+				return nil, fmt.Errorf("place: init puts cell %d on wrong site class %v", c, s)
+			}
+			st.place(c, pos)
+		}
+	} else {
+		// Random legal initial placement.
+		clbPerm := rng.Perm(len(clbSites))
+		ioPerm := rng.Perm(len(ioSites))
+		ci, ii := 0, 0
+		for c := range p.Cells {
+			if p.Cells[c].IsIO {
+				st.place(c, len(clbSites)+ioPerm[ii])
+				ii++
+			} else {
+				st.place(c, clbPerm[ci])
+				ci++
+			}
+		}
+	}
+	for ni, n := range p.Nets {
+		for _, c := range n.Cells {
+			st.netsOf[c] = append(st.netsOf[c], ni)
+		}
+		st.netCost[ni] = st.costOf(ni)
+	}
+	return st, nil
+}
+
+func (st *state) place(c, pos int) {
+	st.posOf[c] = pos
+	st.cellAt[pos] = c
+}
+
+func (st *state) siteAt(pos int) arch.Site {
+	if pos < len(st.clbSites) {
+		return st.clbSites[pos]
+	}
+	return st.ioSites[pos-len(st.clbSites)]
+}
+
+func (st *state) loc(c int) (int, int) {
+	s := st.siteAt(st.posOf[c])
+	return s.X, s.Y
+}
+
+func (st *state) costOf(ni int) float64 {
+	n := st.p.Nets[ni]
+	w := n.Weight
+	if w == 0 {
+		w = 1
+	}
+	return HPWL(n.Cells, w, st.loc)
+}
+
+func (st *state) totalCost() float64 {
+	t := 0.0
+	for _, c := range st.netCost {
+		t += c
+	}
+	return t
+}
+
+// trySwap swaps the contents of two positions (either may be empty) and
+// returns the cost delta along with an undo closure.
+func (st *state) swapDelta(posA, posB int) (float64, []int) {
+	ca, cb := st.cellAt[posA], st.cellAt[posB]
+	affected := map[int]bool{}
+	if ca >= 0 {
+		for _, ni := range st.netsOf[ca] {
+			affected[ni] = true
+		}
+	}
+	if cb >= 0 {
+		for _, ni := range st.netsOf[cb] {
+			affected[ni] = true
+		}
+	}
+	// Apply move.
+	st.cellAt[posA], st.cellAt[posB] = cb, ca
+	if ca >= 0 {
+		st.posOf[ca] = posB
+	}
+	if cb >= 0 {
+		st.posOf[cb] = posA
+	}
+	delta := 0.0
+	nets := make([]int, 0, len(affected))
+	for ni := range affected {
+		nets = append(nets, ni)
+		delta += st.costOf(ni) - st.netCost[ni]
+	}
+	return delta, nets
+}
+
+func (st *state) commit(nets []int) {
+	for _, ni := range nets {
+		st.netCost[ni] = st.costOf(ni)
+	}
+}
+
+func (st *state) undoSwap(posA, posB int) {
+	ca, cb := st.cellAt[posA], st.cellAt[posB]
+	st.cellAt[posA], st.cellAt[posB] = cb, ca
+	if ca >= 0 {
+		st.posOf[ca] = posB
+	}
+	if cb >= 0 {
+		st.posOf[cb] = posA
+	}
+}
+
+// Schedule holds the adaptive annealing parameters shared with the
+// combined placer in package merge.
+type Schedule struct {
+	T      float64
+	RLim   float64
+	Moves  int
+	accept int
+	tried  int
+}
+
+// NewSchedule seeds the schedule from an initial cost standard deviation
+// (VPR: T0 = 20 σ) and the device span.
+func NewSchedule(sigma float64, span int, nCells int, effort float64) *Schedule {
+	t0 := 20 * sigma
+	if t0 <= 0 {
+		t0 = 1
+	}
+	moves := int(effort * 10 * math.Pow(float64(nCells), 4.0/3.0))
+	if moves < 64 {
+		moves = 64
+	}
+	return &Schedule{T: t0, RLim: float64(span), Moves: moves}
+}
+
+// Record notes one attempted move and whether it was accepted.
+func (s *Schedule) Record(accepted bool) {
+	s.tried++
+	if accepted {
+		s.accept++
+	}
+}
+
+// Next advances the temperature and range limit after one round of moves,
+// reporting whether annealing should continue given the current
+// cost-per-net scale.
+func (s *Schedule) Next(costPerNet float64, span int) bool {
+	alphaAccept := 0.0
+	if s.tried > 0 {
+		alphaAccept = float64(s.accept) / float64(s.tried)
+	}
+	var gamma float64
+	switch {
+	case alphaAccept > 0.96:
+		gamma = 0.5
+	case alphaAccept > 0.8:
+		gamma = 0.9
+	case alphaAccept > 0.15:
+		gamma = 0.95
+	default:
+		gamma = 0.8
+	}
+	s.T *= gamma
+	// Range limit tracks 44% acceptance (Lam/VPR).
+	s.RLim *= 1 - 0.44 + alphaAccept
+	if s.RLim < 1 {
+		s.RLim = 1
+	}
+	if s.RLim > float64(span) {
+		s.RLim = float64(span)
+	}
+	s.accept, s.tried = 0, 0
+	return s.T >= 0.005*costPerNet
+}
+
+func anneal(st *state, a arch.Arch, opt Options, rng *rand.Rand) {
+	nCells := len(st.p.Cells)
+	if nCells == 0 || len(st.p.Nets) == 0 {
+		return
+	}
+	span := a.Width + a.Height
+
+	// Estimate initial temperature from probed (and undone) swap deltas.
+	var deltas []float64
+	for i := 0; i < nCells; i++ {
+		posA, posB, ok := pickMove(st, rng, float64(span))
+		if !ok {
+			continue
+		}
+		d, _ := st.swapDelta(posA, posB)
+		deltas = append(deltas, d)
+		st.undoSwap(posA, posB)
+	}
+	sigma := stddev(deltas)
+	sch := NewSchedule(sigma, span, nCells, opt.Effort)
+	if opt.Init != nil {
+		frac := opt.RefineTempFraction
+		if frac <= 0 {
+			frac = 0.1
+		}
+		sch.T *= frac
+		sch.RLim = float64(span) / 4
+		if sch.RLim < 1 {
+			sch.RLim = 1
+		}
+	}
+
+	for {
+		for m := 0; m < sch.Moves; m++ {
+			posA, posB, ok := pickMove(st, rng, sch.RLim)
+			if !ok {
+				continue
+			}
+			d, nets := st.swapDelta(posA, posB)
+			if d <= 0 || rng.Float64() < math.Exp(-d/sch.T) {
+				st.commit(nets)
+				sch.Record(true)
+			} else {
+				st.undoSwap(posA, posB)
+				sch.Record(false)
+			}
+		}
+		costPerNet := st.totalCost() / float64(len(st.p.Nets))
+		if !sch.Next(costPerNet, span) {
+			break
+		}
+	}
+}
+
+// pickMove selects a random occupied position and a partner position of the
+// same class (CLB or IO) within the range limit.
+func pickMove(st *state, rng *rand.Rand, rlim float64) (int, int, bool) {
+	c := rng.Intn(len(st.p.Cells))
+	posA := st.posOf[c]
+	isIO := st.p.Cells[c].IsIO
+	var posB int
+	if isIO {
+		posB = len(st.clbSites) + rng.Intn(len(st.ioSites))
+	} else {
+		// Range-limited CLB target.
+		sa := st.siteAt(posA)
+		r := int(rlim)
+		if r < 1 {
+			r = 1
+		}
+		x := clamp(sa.X+rng.Intn(2*r+1)-r, 1, widthOf(st))
+		y := clamp(sa.Y+rng.Intn(2*r+1)-r, 1, heightOf(st))
+		posB = (y-1)*widthOf(st) + (x - 1)
+	}
+	if posB == posA {
+		return 0, 0, false
+	}
+	// Swapping with a same-class cell or empty slot only.
+	if other := st.cellAt[posB]; other >= 0 && st.p.Cells[other].IsIO != isIO {
+		return 0, 0, false
+	}
+	return posA, posB, true
+}
+
+func widthOf(st *state) int {
+	last := st.clbSites[len(st.clbSites)-1]
+	return last.X
+}
+
+func heightOf(st *state) int {
+	last := st.clbSites[len(st.clbSites)-1]
+	return last.Y
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}

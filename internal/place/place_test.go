@@ -1,0 +1,213 @@
+package place
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/lutnet"
+	"repro/internal/netlist"
+	"repro/internal/techmap"
+)
+
+func validatePlacement(t *testing.T, p *Problem, a arch.Arch, pl *Placement) {
+	t.Helper()
+	if len(pl.SiteOf) != len(p.Cells) {
+		t.Fatalf("placement covers %d cells, want %d", len(pl.SiteOf), len(p.Cells))
+	}
+	seen := map[arch.Site]int{}
+	for c, s := range pl.SiteOf {
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("cells %d and %d share site %v", prev, c, s)
+		}
+		seen[s] = c
+		if p.Cells[c].IsIO != s.IsIO {
+			t.Fatalf("cell %d (IsIO=%v) on site %v", c, p.Cells[c].IsIO, s)
+		}
+		if !s.IsIO {
+			if s.X < 1 || s.X > a.Width || s.Y < 1 || s.Y > a.Height {
+				t.Fatalf("CLB site %v out of grid", s)
+			}
+		}
+	}
+}
+
+func ringProblem(n int) *Problem {
+	// n cells in a ring: net i connects cell i and (i+1)%n. Optimal
+	// placement is a compact loop with cost ~2 per net.
+	p := &Problem{}
+	for i := 0; i < n; i++ {
+		p.Cells = append(p.Cells, Cell{Name: fmt.Sprintf("c%d", i)})
+	}
+	for i := 0; i < n; i++ {
+		p.Nets = append(p.Nets, Net{Cells: []int{i, (i + 1) % n}, Weight: 1})
+	}
+	return p
+}
+
+func TestPlaceLegal(t *testing.T) {
+	a := arch.New(5, 5, 4)
+	p := ringProblem(16)
+	pl, err := Place(p, a, Options{Seed: 1, Effort: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validatePlacement(t, p, a, pl)
+}
+
+func TestPlaceImprovesOverRandom(t *testing.T) {
+	a := arch.New(8, 8, 4)
+	p := ringProblem(40)
+	pl, err := Place(p, a, Options{Seed: 2, Effort: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random placement cost for a ring of 40 on an 8x8 grid is ~40*avg
+	// distance (~5.3) ≈ 210; annealing must do much better.
+	randomCost := estimateRandomCost(p, a, 3)
+	if pl.Cost > 0.6*randomCost {
+		t.Errorf("annealed cost %.1f not clearly better than random %.1f", pl.Cost, randomCost)
+	}
+}
+
+func estimateRandomCost(p *Problem, a arch.Arch, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	sites := a.CLBSites()
+	total := 0.0
+	for trial := 0; trial < 10; trial++ {
+		perm := rng.Perm(len(sites))
+		loc := func(c int) (int, int) {
+			s := sites[perm[c%len(sites)]]
+			return s.X, s.Y
+		}
+		for _, n := range p.Nets {
+			total += HPWL(n.Cells, 1, loc)
+		}
+	}
+	return total / 10
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	a := arch.New(6, 6, 4)
+	p := ringProblem(20)
+	pl1, err := Place(p, a, Options{Seed: 7, Effort: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2, err := Place(p, a, Options{Seed: 7, Effort: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range pl1.SiteOf {
+		if pl1.SiteOf[c] != pl2.SiteOf[c] {
+			t.Fatalf("same seed produced different placements at cell %d", c)
+		}
+	}
+}
+
+func TestPlaceIOCells(t *testing.T) {
+	a := arch.New(4, 4, 4)
+	p := &Problem{}
+	for i := 0; i < 6; i++ {
+		p.Cells = append(p.Cells, Cell{Name: fmt.Sprintf("b%d", i)})
+	}
+	for i := 0; i < 8; i++ {
+		p.Cells = append(p.Cells, Cell{Name: fmt.Sprintf("io%d", i), IsIO: true})
+	}
+	for i := 0; i < 8; i++ {
+		p.Nets = append(p.Nets, Net{Cells: []int{i % 6, 6 + i}})
+	}
+	pl, err := Place(p, a, Options{Seed: 3, Effort: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validatePlacement(t, p, a, pl)
+}
+
+func TestPlaceOverflowErrors(t *testing.T) {
+	a := arch.New(2, 2, 4)
+	p := &Problem{}
+	for i := 0; i < 5; i++ { // 5 logic cells, 4 CLB sites
+		p.Cells = append(p.Cells, Cell{Name: fmt.Sprintf("b%d", i)})
+	}
+	if _, err := Place(p, a, Options{Seed: 1}); err == nil {
+		t.Fatal("expected overflow error")
+	}
+}
+
+func TestHPWLQFactor(t *testing.T) {
+	if QFactor(2) != 1.0 || QFactor(3) != 1.0 {
+		t.Error("q for small nets must be 1.0")
+	}
+	if QFactor(10) <= 1.0 {
+		t.Error("q must grow with terminal count")
+	}
+	if QFactor(100) <= QFactor(50) {
+		t.Error("q must extrapolate past the table")
+	}
+}
+
+func TestHPWLComputation(t *testing.T) {
+	locs := map[int][2]int{0: {1, 1}, 1: {4, 1}, 2: {1, 5}}
+	loc := func(c int) (int, int) { return locs[c][0], locs[c][1] }
+	got := HPWL([]int{0, 1, 2}, 1, loc)
+	if got != 7 { // (4-1)+(5-1)
+		t.Errorf("HPWL = %v, want 7", got)
+	}
+	if HPWL([]int{0}, 1, loc) != 0 {
+		t.Error("single-cell net must cost 0")
+	}
+}
+
+func TestFromCircuit(t *testing.T) {
+	b := netlist.NewBuilder("c")
+	x := b.Input("x")
+	y := b.Input("y")
+	g := b.And(x, y)
+	h := b.Or(g, x)
+	b.Output("o", h)
+	circ, err := techmap.Map(b.N, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, cc := FromCircuit(circ)
+	if len(p.Cells) != circ.NumBlocks()+len(circ.PINames)+len(circ.POs) {
+		t.Fatalf("cell count %d", len(p.Cells))
+	}
+	// Every net must reference valid cells.
+	for _, n := range p.Nets {
+		if len(n.Cells) < 2 {
+			t.Fatalf("degenerate net %v", n)
+		}
+		for _, c := range n.Cells {
+			if c < 0 || c >= len(p.Cells) {
+				t.Fatalf("net references cell %d out of range", c)
+			}
+		}
+	}
+	_ = cc
+}
+
+func TestPlaceMappedCircuitEndToEnd(t *testing.T) {
+	b := netlist.NewBuilder("e2e")
+	av := b.InputVector("a", 4)
+	bv := b.InputVector("b", 4)
+	b.OutputVector("s", b.RippleAdd(av, bv))
+	circ, err := techmap.Map(b.N, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := arch.MinGridForBlocks(circ.NumBlocks(), circ.NumPIs()+len(circ.POs), 1.2)
+	a := arch.New(side, side, 6)
+	p, _ := FromCircuit(circ)
+	pl, err := Place(p, a, Options{Seed: 5, Effort: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validatePlacement(t, p, a, pl)
+	if pl.Cost <= 0 {
+		t.Error("zero cost for non-trivial circuit")
+	}
+	_ = lutnet.Source{}
+}

@@ -1,0 +1,69 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestPlaceFromInit(t *testing.T) {
+	a := arch.New(6, 6, 4)
+	p := ringProblem(20)
+	// First get any placement, then refine it.
+	base, err := Place(p, a, Options{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := Place(p, a, Options{Seed: 2, Effort: 0.2, Init: base.SiteOf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validatePlacement(t, p, a, refined)
+	// Refinement at low temperature must not destroy a good placement.
+	if refined.Cost > base.Cost*1.15 {
+		t.Errorf("refinement worsened cost: %.1f -> %.1f", base.Cost, refined.Cost)
+	}
+}
+
+func TestPlaceInitValidation(t *testing.T) {
+	a := arch.New(4, 4, 4)
+	p := ringProblem(4)
+	sites := a.CLBSites()
+
+	// Wrong length.
+	if _, err := Place(p, a, Options{Init: sites[:2]}); err == nil {
+		t.Error("short init accepted")
+	}
+	// Duplicate site.
+	dup := []arch.Site{sites[0], sites[0], sites[1], sites[2]}
+	if _, err := Place(p, a, Options{Init: dup}); err == nil {
+		t.Error("duplicate init site accepted")
+	}
+	// Wrong class: logic cell on a pad site.
+	bad := []arch.Site{a.IOSites()[0], sites[1], sites[2], sites[3]}
+	if _, err := Place(p, a, Options{Init: bad}); err == nil {
+		t.Error("class mismatch accepted")
+	}
+}
+
+func TestRefineDeterministic(t *testing.T) {
+	a := arch.New(5, 5, 4)
+	p := ringProblem(12)
+	base, err := Place(p, a, Options{Seed: 3, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Place(p, a, Options{Seed: 4, Effort: 0.2, Init: base.SiteOf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Place(p, a, Options{Seed: 4, Effort: 0.2, Init: base.SiteOf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range r1.SiteOf {
+		if r1.SiteOf[c] != r2.SiteOf[c] {
+			t.Fatal("refinement not deterministic")
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package route
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/lutnet"
+	"repro/internal/place"
+)
+
+// NetsForPlacedCircuit converts a placed mapped circuit into router nets:
+// each signal net runs from the SOURCE node of its driver's site to the
+// SINK node of every consuming site.
+func NetsForPlacedCircuit(g *arch.Graph, c *lutnet.Circuit, cc place.CircuitCells, pl *place.Placement) ([]Net, error) {
+	idx := g.Arch.NewIOIndexer()
+	srcNode := func(cell int) (int32, error) {
+		s := pl.SiteOf[cell]
+		if s.IsIO {
+			i, ok := idx[s]
+			if !ok {
+				return 0, fmt.Errorf("route: unknown pad site %v", s)
+			}
+			return g.PadSource(i), nil
+		}
+		return g.CLBSource(s.X, s.Y), nil
+	}
+	sinkNode := func(cell int) (int32, error) {
+		s := pl.SiteOf[cell]
+		if s.IsIO {
+			i, ok := idx[s]
+			if !ok {
+				return 0, fmt.Errorf("route: unknown pad site %v", s)
+			}
+			return g.PadSink(i), nil
+		}
+		return g.CLBSink(s.X, s.Y), nil
+	}
+
+	var nets []Net
+	for _, nt := range c.Nets() {
+		driver := cc.SourceCell(nt.Src)
+		src, err := srcNode(driver)
+		if err != nil {
+			return nil, err
+		}
+		n := Net{Name: nt.Src.String(), Source: src}
+		for _, bp := range nt.BlockIn {
+			sk, err := sinkNode(cc.BlockCell(bp.Block))
+			if err != nil {
+				return nil, err
+			}
+			n.Sinks = append(n.Sinks, sk)
+		}
+		for _, po := range nt.POSinks {
+			sk, err := sinkNode(cc.POCell(po))
+			if err != nil {
+				return nil, err
+			}
+			n.Sinks = append(n.Sinks, sk)
+		}
+		if len(n.Sinks) > 0 {
+			nets = append(nets, n)
+		}
+	}
+	return nets, nil
+}

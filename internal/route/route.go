@@ -1,0 +1,535 @@
+// Package route implements a PathFinder negotiated-congestion router over
+// the routing-resource graph of package arch: iterative rip-up and reroute
+// with present-congestion and history costs, A*-accelerated Dijkstra per
+// sink, and per-net routing trees recording the programmable switches used
+// (the routing configuration bits).
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/arch"
+)
+
+// Net is one signal to route from a SOURCE node to one or more SINK nodes.
+// ModeMask is the set of modes in which the net is active (Tunable
+// routing): nets with disjoint masks may share routing resources, because
+// the modes are mutually exclusive in time. A zero mask means "active in
+// every mode".
+type Net struct {
+	Name     string
+	Source   int32
+	Sinks    []int32
+	ModeMask uint64
+	// SinkMasks optionally refines ModeMask per sink (parallel to Sinks):
+	// the branch reaching a sink only occupies that sink's modes, so two
+	// mode-disjoint connections can share a block pin. Nil means every
+	// sink inherits ModeMask.
+	SinkMasks []uint64
+}
+
+// Edge is one directed RRG edge used by a route.
+type Edge struct {
+	From, To int32
+}
+
+// Tree is the routing of one net: the set of nodes and directed edges used.
+// NodeMasks (parallel to Nodes) records the mode mask each node serves —
+// the union of the masks of the sinks reached through it.
+type Tree struct {
+	Nodes     []int32
+	Edges     []Edge
+	NodeMasks []uint64
+}
+
+// Result is a complete routing.
+type Result struct {
+	Trees []Tree
+	// Iterations is the number of PathFinder iterations needed.
+	Iterations int
+}
+
+// Options tunes the router.
+type Options struct {
+	MaxIters     int     // default 40
+	FirstPresFac float64 // default 0.5
+	PresFacMult  float64 // default 1.8
+	AccFac       float64 // default 1.0
+	AStarFac     float64 // default 1.1
+	// ModeCount is the number of modes for Tunable routing: occupancy is
+	// tracked per mode, so nets with disjoint mode masks can share wires,
+	// pins and sinks — each mode reconfigures the switches for itself.
+	// Default 1 (ordinary single-mode routing).
+	ModeCount int
+}
+
+func (o *Options) fill() {
+	if o.MaxIters == 0 {
+		o.MaxIters = 40
+	}
+	if o.FirstPresFac == 0 {
+		o.FirstPresFac = 0.5
+	}
+	if o.PresFacMult == 0 {
+		o.PresFacMult = 1.8
+	}
+	if o.AccFac == 0 {
+		o.AccFac = 1.0
+	}
+	if o.AStarFac == 0 {
+		o.AStarFac = 1.1
+	}
+	if o.ModeCount == 0 {
+		o.ModeCount = 1
+	}
+}
+
+// ErrUnroutable is returned when congestion cannot be resolved.
+type ErrUnroutable struct {
+	Overused int
+	Iters    int
+	Detail   string // description of a few overused nodes
+}
+
+func (e *ErrUnroutable) Error() string {
+	return fmt.Sprintf("route: %d overused nodes after %d iterations%s", e.Overused, e.Iters, e.Detail)
+}
+
+type pqItem struct {
+	node  int32
+	cost  float64 // path cost so far
+	est   float64 // cost + A* lower bound
+	index int
+}
+
+type pq []*pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].est != q[j].est {
+		return q[i].est < q[j].est
+	}
+	return q[i].node < q[j].node
+}
+func (q pq) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *pq) Push(x any) {
+	it := x.(*pqItem)
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// router carries the PathFinder state. Occupancy is per mode: a node is
+// overused only if some single mode oversubscribes it, so nets of disjoint
+// mode masks share resources freely.
+type router struct {
+	g    *arch.Graph
+	opt  Options
+	cap  []int16
+	occ  [][]int16   // [mode][node]
+	hist [][]float64 // [mode][node]: congestion history is per mode, so
+	// contention in one mode does not repel nets of other modes from
+	// resources they could legally share
+	presFac float64
+	curMask uint64 // mask of the branch being routed
+	allMask uint64
+}
+
+func baseCost(t arch.NodeType) float64 {
+	switch t {
+	case arch.NodeChanX, arch.NodeChanY:
+		return 1.0
+	case arch.NodeIPin:
+		return 0.95
+	case arch.NodeOPin:
+		return 1.0
+	case arch.NodeSink, arch.NodeSource:
+		return 0.0
+	}
+	return 1.0
+}
+
+func capacities(g *arch.Graph) []int16 {
+	caps := make([]int16, g.NumNodes())
+	k := int16(g.Arch.K)
+	for i := range caps {
+		n := g.Nodes[i]
+		onRing := n.X == 0 || n.Y == 0 || int(n.X) == g.Arch.Width+1 || int(n.Y) == g.Arch.Height+1
+		switch n.Type {
+		case arch.NodeSink:
+			// A CLB sink accepts up to K nets per mode (one per input
+			// pin); pad sinks accept one.
+			if onRing {
+				caps[i] = 1
+			} else {
+				caps[i] = k
+			}
+		default:
+			caps[i] = 1
+		}
+	}
+	return caps
+}
+
+func (r *router) nodeCost(n int32) float64 {
+	b := baseCost(r.g.Nodes[n].Type)
+	// Worst overuse and history over the modes the current branch is
+	// active in.
+	var worst int16
+	var h float64
+	for m := 0; m < len(r.occ); m++ {
+		if r.curMask>>uint(m)&1 == 0 {
+			continue
+		}
+		if o := r.occ[m][n]; o > worst {
+			worst = o
+		}
+		if r.hist[m][n] > h {
+			h = r.hist[m][n]
+		}
+	}
+	over := float64(worst + 1 - r.cap[n])
+	pres := 1.0
+	if over > 0 {
+		pres += r.presFac * over
+	}
+	return b * (1 + h) * pres
+}
+
+// adjustOcc adds delta to the occupancy of node n in every mode of mask.
+func (r *router) adjustOcc(n int32, mask uint64, delta int16) {
+	for m := 0; m < len(r.occ); m++ {
+		if mask>>uint(m)&1 == 1 {
+			r.occ[m][n] += delta
+		}
+	}
+}
+
+// maskOf normalises a net's mode mask.
+func (r *router) maskOf(n *Net) uint64 {
+	if n.ModeMask == 0 {
+		return r.allMask
+	}
+	return n.ModeMask & r.allMask
+}
+
+// lowerBound estimates the remaining cost from node n to the target sink
+// (Manhattan distance in channel units; admissible for unit-length wires).
+func (r *router) lowerBound(n, target int32) float64 {
+	a, b := r.g.Nodes[n], r.g.Nodes[target]
+	dx := math.Abs(float64(a.X - b.X))
+	dy := math.Abs(float64(a.Y - b.Y))
+	return (dx + dy) * r.opt.AStarFac
+}
+
+// Route routes all nets, returning per-net trees.
+func Route(g *arch.Graph, nets []Net, opt Options) (*Result, error) {
+	opt.fill()
+	r := &router{
+		g:   g,
+		opt: opt,
+		cap: capacities(g),
+	}
+	r.occ = make([][]int16, opt.ModeCount)
+	r.hist = make([][]float64, opt.ModeCount)
+	for m := range r.occ {
+		r.occ[m] = make([]int16, g.NumNodes())
+		r.hist[m] = make([]float64, g.NumNodes())
+	}
+	if opt.ModeCount >= 64 {
+		r.allMask = ^uint64(0)
+	} else {
+		r.allMask = uint64(1)<<uint(opt.ModeCount) - 1
+	}
+
+	// Stable net order: nets active in more modes first (they have the
+	// least resource-sharing freedom), then high-fanout, then by name.
+	order := make([]int, len(nets))
+	for i := range order {
+		order[i] = i
+	}
+	popcount := func(v uint64) int {
+		n := 0
+		for ; v != 0; v &= v - 1 {
+			n++
+		}
+		return n
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := nets[order[i]], nets[order[j]]
+		pa, pb := popcount(r.maskOf(&a)), popcount(r.maskOf(&b))
+		if pa != pb {
+			return pa > pb
+		}
+		if len(a.Sinks) != len(b.Sinks) {
+			return len(a.Sinks) > len(b.Sinks)
+		}
+		return a.Name < b.Name
+	})
+
+	trees := make([]Tree, len(nets))
+	r.presFac = opt.FirstPresFac
+	prev := make([]int32, g.NumNodes())
+	visited := make([]float64, g.NumNodes())
+	for i := range visited {
+		visited[i] = math.MaxFloat64
+	}
+
+	for iter := 1; iter <= opt.MaxIters; iter++ {
+		for _, ni := range order {
+			// Rip up the previous tree of this net.
+			for i, n := range trees[ni].Nodes {
+				r.adjustOcc(n, trees[ni].NodeMasks[i], -1)
+			}
+			tree, err := r.routeNet(&nets[ni], prev, visited)
+			if err != nil {
+				return nil, fmt.Errorf("route: net %q: %w", nets[ni].Name, err)
+			}
+			trees[ni] = tree
+			for i, n := range tree.Nodes {
+				r.adjustOcc(n, tree.NodeMasks[i], 1)
+			}
+		}
+		// Congestion check: a node is overused if any single mode
+		// oversubscribes it; history accumulates in that mode only.
+		overused := 0
+		for n := 0; n < g.NumNodes(); n++ {
+			over := false
+			for m := range r.occ {
+				if r.occ[m][n] > r.cap[n] {
+					over = true
+					r.hist[m][n] += opt.AccFac * float64(r.occ[m][n]-r.cap[n])
+				}
+			}
+			if over {
+				overused++
+			}
+		}
+		if overused == 0 {
+			return &Result{Trees: trees, Iterations: iter}, nil
+		}
+		if iter == 1 {
+			r.presFac = opt.FirstPresFac
+		} else {
+			r.presFac *= opt.PresFacMult
+		}
+		if r.presFac > 1e6 {
+			r.presFac = 1e6
+		}
+	}
+	overused := 0
+	detail := ""
+	for n := 0; n < g.NumNodes(); n++ {
+		var worst int16
+		for m := range r.occ {
+			if r.occ[m][n] > worst {
+				worst = r.occ[m][n]
+			}
+		}
+		if worst > r.cap[n] {
+			overused++
+			if overused <= 3 {
+				detail += fmt.Sprintf("; node %d %v occ=%d cap=%d", n, g.Nodes[n], worst, r.cap[n])
+			}
+		}
+	}
+	return nil, &ErrUnroutable{Overused: overused, Iters: opt.MaxIters, Detail: detail}
+}
+
+// routeNet routes one net: sinks are connected one at a time, each found by
+// an A* search seeded with the entire current routing tree. After routing,
+// every tree node is annotated with the union mask of the sinks it serves.
+func (r *router) routeNet(n *Net, prev []int32, visited []float64) (Tree, error) {
+	netMask := r.maskOf(n)
+	sinkMask := func(i int) uint64 {
+		if n.SinkMasks == nil {
+			return netMask
+		}
+		m := n.SinkMasks[i] & r.allMask
+		if m == 0 {
+			return netMask
+		}
+		return m
+	}
+
+	tree := Tree{Nodes: []int32{n.Source}}
+	inTree := map[int32]bool{n.Source: true}
+
+	// Deterministic sink order: nearest to the source first.
+	idx := make([]int, len(n.Sinks))
+	for i := range idx {
+		idx[i] = i
+	}
+	src := r.g.Nodes[n.Source]
+	sort.SliceStable(idx, func(i, j int) bool {
+		a, b := r.g.Nodes[n.Sinks[idx[i]]], r.g.Nodes[n.Sinks[idx[j]]]
+		da := math.Abs(float64(a.X-src.X)) + math.Abs(float64(a.Y-src.Y))
+		db := math.Abs(float64(b.X-src.X)) + math.Abs(float64(b.Y-src.Y))
+		if da != db {
+			return da < db
+		}
+		return n.Sinks[idx[i]] < n.Sinks[idx[j]]
+	})
+
+	sinkMaskByNode := map[int32]uint64{}
+	for _, si := range idx {
+		sink := n.Sinks[si]
+		r.curMask = sinkMask(si)
+		sinkMaskByNode[sink] |= sinkMask(si)
+		if inTree[sink] {
+			// Multiple logical sinks can share one SINK node (e.g. two
+			// input pins of the same block): account occupancy once per
+			// use by adding the node again.
+			tree.Nodes = append(tree.Nodes, sink)
+			continue
+		}
+		path, err := r.search(tree.Nodes, sink, prev, visited)
+		if err != nil {
+			return Tree{}, err
+		}
+		// path runs tree→sink; path[0] is already in the tree.
+		for i := 1; i < len(path); i++ {
+			tree.Edges = append(tree.Edges, Edge{From: path[i-1], To: path[i]})
+			if !inTree[path[i]] {
+				inTree[path[i]] = true
+				tree.Nodes = append(tree.Nodes, path[i])
+			}
+		}
+	}
+
+	// Annotate nodes with the union of downstream sink masks.
+	children := map[int32][]int32{}
+	for _, e := range tree.Edges {
+		children[e.From] = append(children[e.From], e.To)
+	}
+	nodeMask := map[int32]uint64{}
+	var visit func(node int32) uint64
+	visit = func(node int32) uint64 {
+		m := sinkMaskByNode[node]
+		for _, c := range children[node] {
+			m |= visit(c)
+		}
+		nodeMask[node] = m
+		return m
+	}
+	visit(n.Source)
+	tree.NodeMasks = make([]uint64, len(tree.Nodes))
+	for i, node := range tree.Nodes {
+		m := nodeMask[node]
+		if m == 0 {
+			m = netMask // isolated source with no sinks
+		}
+		// Duplicate sink entries each count once with the sink's own mask.
+		tree.NodeMasks[i] = m
+	}
+	return tree, nil
+}
+
+// search finds the cheapest path from any tree node to the sink.
+func (r *router) search(treeNodes []int32, sink int32, prev []int32, visited []float64) ([]int32, error) {
+	const unvisited = math.MaxFloat64
+	var touched []int32
+	q := make(pq, 0, 256)
+	push := func(node int32, cost float64, from int32) {
+		if visited[node] <= cost {
+			return
+		}
+		if visited[node] == unvisited {
+			touched = append(touched, node)
+		}
+		visited[node] = cost
+		prev[node] = from
+		heap.Push(&q, &pqItem{node: node, cost: cost, est: cost + r.lowerBound(node, sink)})
+	}
+	defer func() {
+		for _, n := range touched {
+			visited[n] = unvisited
+		}
+	}()
+	for _, n := range treeNodes {
+		push(n, 0, -1)
+	}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(*pqItem)
+		if it.cost > visited[it.node] {
+			continue
+		}
+		if it.node == sink {
+			// Backtrace.
+			var rev []int32
+			for n := sink; n != -1; n = prev[n] {
+				rev = append(rev, n)
+				if prev[n] == -1 {
+					break
+				}
+			}
+			path := make([]int32, len(rev))
+			for i, n := range rev {
+				path[len(rev)-1-i] = n
+			}
+			return path, nil
+		}
+		for _, to := range r.g.Edges(it.node) {
+			// Sinks other than the target are dead ends.
+			if r.g.Nodes[to].Type == arch.NodeSink && to != sink {
+				continue
+			}
+			push(to, it.cost+r.nodeCost(to), it.node)
+		}
+	}
+	return nil, fmt.Errorf("no path to sink %d (%v)", sink, r.g.Nodes[sink])
+}
+
+// WireLength counts the wire-segment nodes of a tree.
+func WireLength(g *arch.Graph, t Tree) int {
+	n := 0
+	for _, node := range t.Nodes {
+		if g.Nodes[node].IsWire() {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalWireLength sums WireLength over all trees.
+func TotalWireLength(g *arch.Graph, res *Result) int {
+	total := 0
+	for _, t := range res.Trees {
+		total += WireLength(g, t)
+	}
+	return total
+}
+
+// UsedBits returns the set of routing configuration bits switched on by the
+// given trees (bit ids from the architecture graph).
+func UsedBits(g *arch.Graph, trees []Tree) map[int32]bool {
+	used := map[int32]bool{}
+	for _, t := range trees {
+		for _, e := range t.Edges {
+			bits := g.EdgeBits(e.From)
+			for i, to := range g.Edges(e.From) {
+				if to == e.To {
+					if bits[i] >= 0 {
+						used[bits[i]] = true
+					}
+					break
+				}
+			}
+		}
+	}
+	return used
+}

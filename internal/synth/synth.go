@@ -1,0 +1,288 @@
+// Package synth implements the logic-synthesis clean-up passes of the
+// front-end: constant propagation, support reduction, buffer elision,
+// structural hashing and dead-node sweeping. The FIR workload relies on
+// constant propagation to shrink constant-coefficient filters (the paper
+// reports a 3× reduction versus the generic filter).
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Optimize runs constant propagation, support reduction, buffer elision,
+// structural hashing and a reachability sweep until fixpoint, returning a
+// fresh netlist that is cycle-by-cycle IO-equivalent to the input.
+func Optimize(n *netlist.Netlist) *netlist.Netlist {
+	cur := n
+	for round := 0; round < 8; round++ {
+		next := pass(cur)
+		if sizeOf(next) == sizeOf(cur) && round > 0 {
+			return next
+		}
+		cur = next
+	}
+	return cur
+}
+
+func sizeOf(n *netlist.Netlist) int {
+	return n.CountKind(netlist.KindGate) + n.CountKind(netlist.KindLatch)
+}
+
+// signal describes the rewritten form of an old node: either a constant or
+// a node ID in the new netlist.
+type signal struct {
+	isConst bool
+	constV  bool
+	id      int
+}
+
+// pass performs one rewrite round.
+func pass(n *netlist.Netlist) *netlist.Netlist {
+	out := netlist.New(n.Name)
+	oldToNew := make([]signal, len(n.Nodes))
+
+	// Constant-valued latches: a latch whose data input is a constant equal
+	// to its initial value is a constant forever. Detect by fixpoint over
+	// latch graph: start assuming every latch may be constant at its init
+	// value, and invalidate when its (gate-propagated) data input disagrees
+	// or is non-constant. To keep the pass simple and sound we only fold a
+	// latch when its data fanin evaluates to a constant equal to init under
+	// the candidate assumption set; one outer Optimize round per latch layer
+	// converges.
+	constLatch := detectConstLatches(n)
+
+	hash := map[string]int{}
+	var latchFixups []struct {
+		newID, oldFanin int
+	}
+
+	emit := func(fn logic.TT, fanins []signal, name string) signal {
+		// Fold constant fanins into the function.
+		work := fn
+		for i, f := range fanins {
+			if f.isConst {
+				work = work.Cofactor(i, f.constV)
+			}
+		}
+		// Collapse duplicate fanin nodes: if variables i and j feed from the
+		// same node, rewrite the table so rows are read with v_j := v_i,
+		// letting Shrink drop v_j.
+		for i := 0; i < len(fanins); i++ {
+			if fanins[i].isConst {
+				continue
+			}
+			for j := i + 1; j < len(fanins); j++ {
+				if fanins[j].isConst || fanins[j].id != fanins[i].id {
+					continue
+				}
+				dedup := logic.ConstTT(work.NumVars, false)
+				for r := 0; r < work.NumRows(); r++ {
+					src := r&^(1<<uint(j)) | (r >> uint(i) & 1 << uint(j))
+					if work.Get(src) {
+						dedup = dedup.Set(r, true)
+					}
+				}
+				work = dedup
+			}
+		}
+		// Support reduction.
+		small, keep := work.Shrink()
+		if small.NumVars == 0 {
+			return signal{isConst: true, constV: small.IsConst1()}
+		}
+		newFanins := make([]int, small.NumVars)
+		for i, oldVar := range keep {
+			newFanins[i] = fanins[oldVar].id
+		}
+		// Buffer elision.
+		if small.NumVars == 1 && small.Equal(logic.VarTT(1, 0)) {
+			return signal{id: newFanins[0]}
+		}
+		// Structural hashing.
+		key := fmt.Sprintf("%d:%x:%v", small.NumVars, small.Bits, newFanins)
+		if id, ok := hash[key]; ok {
+			return signal{id: id}
+		}
+		id := out.AddGate(name, small, newFanins...)
+		hash[key] = id
+		return signal{id: id}
+	}
+
+	for _, oldID := range n.TopoOrder() {
+		nd := n.Nodes[oldID]
+		switch nd.Kind {
+		case netlist.KindInput:
+			oldToNew[oldID] = signal{id: out.AddInput(nd.Name)}
+		case netlist.KindLatch:
+			if cv, ok := constLatch[oldID]; ok {
+				oldToNew[oldID] = signal{isConst: true, constV: cv}
+				continue
+			}
+			// Fanin may not be rewritten yet (latches can close cycles);
+			// record a fixup.
+			id := out.AddLatchPlaceholder(nd.Name, nd.Init)
+			latchFixups = append(latchFixups, struct{ newID, oldFanin int }{id, nd.Fanins[0]})
+			oldToNew[oldID] = signal{id: id}
+		case netlist.KindGate:
+			fanins := make([]signal, len(nd.Fanins))
+			for i, f := range nd.Fanins {
+				fanins[i] = oldToNew[f]
+			}
+			oldToNew[oldID] = emit(nd.Func, fanins, nd.Name)
+		}
+	}
+
+	// Materialise constants on demand.
+	constID := map[bool]int{}
+	materialise := func(s signal) int {
+		if !s.isConst {
+			return s.id
+		}
+		if id, ok := constID[s.constV]; ok {
+			return id
+		}
+		name := "const0"
+		if s.constV {
+			name = "const1"
+		}
+		id := out.AddGate(name, logic.ConstTT(0, s.constV))
+		constID[s.constV] = id
+		return id
+	}
+
+	for _, fx := range latchFixups {
+		out.Nodes[fx.newID].Fanins[0] = materialise(oldToNew[fx.oldFanin])
+	}
+	for _, o := range n.Outputs {
+		out.AddOutput(o.Name, materialise(oldToNew[o.Driver]))
+	}
+	return Sweep(out)
+}
+
+// detectConstLatches returns latches provably stuck at their initial value:
+// the greatest fixpoint of "assume all latches constant at init, then
+// repeatedly un-assume any latch whose data input does not evaluate to its
+// init value under the current assumptions".
+func detectConstLatches(n *netlist.Netlist) map[int]bool {
+	cand := map[int]bool{}
+	for _, nd := range n.Nodes {
+		if nd.Kind == netlist.KindLatch {
+			cand[nd.ID] = nd.Init
+		}
+	}
+	order := n.TopoOrder()
+	for changed := true; changed; {
+		changed = false
+		// Evaluate each node to (isConst, value) under assumptions.
+		type cv struct {
+			known bool
+			v     bool
+		}
+		val := make([]cv, len(n.Nodes))
+		for _, id := range order {
+			nd := n.Nodes[id]
+			switch nd.Kind {
+			case netlist.KindInput:
+				val[id] = cv{}
+			case netlist.KindLatch:
+				if v, ok := cand[id]; ok {
+					val[id] = cv{known: true, v: v}
+				}
+			case netlist.KindGate:
+				work := nd.Func
+				allKnown := true
+				for i, f := range nd.Fanins {
+					if val[f].known {
+						work = work.Cofactor(i, val[f].v)
+					} else {
+						allKnown = false
+					}
+				}
+				if work.IsConst0() {
+					val[id] = cv{known: true, v: false}
+				} else if work.IsConst1() {
+					val[id] = cv{known: true, v: true}
+				} else if allKnown {
+					panic("synth: fully-known gate not constant")
+				}
+			}
+		}
+		for _, nd := range n.Nodes {
+			if nd.Kind != netlist.KindLatch {
+				continue
+			}
+			want, ok := cand[nd.ID]
+			if !ok {
+				continue
+			}
+			d := val[nd.Fanins[0]]
+			if !d.known || d.v != want {
+				delete(cand, nd.ID)
+				changed = true
+			}
+		}
+	}
+	return cand
+}
+
+// Sweep removes nodes not reachable from any primary output (walking
+// through latch data inputs), preserving primary inputs.
+func Sweep(n *netlist.Netlist) *netlist.Netlist {
+	reach := make([]bool, len(n.Nodes))
+	var visit func(int)
+	visit = func(id int) {
+		if reach[id] {
+			return
+		}
+		reach[id] = true
+		for _, f := range n.Nodes[id].Fanins {
+			visit(f)
+		}
+	}
+	for _, o := range n.Outputs {
+		visit(o.Driver)
+	}
+
+	out := netlist.New(n.Name)
+	oldToNew := make([]int, len(n.Nodes))
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	var latchFixups []struct{ newID, oldFanin int }
+	for _, oldID := range n.TopoOrder() {
+		nd := n.Nodes[oldID]
+		switch nd.Kind {
+		case netlist.KindInput:
+			oldToNew[oldID] = out.AddInput(nd.Name) // inputs always kept (port list)
+		case netlist.KindLatch:
+			if !reach[oldID] {
+				continue
+			}
+			id := out.AddLatchPlaceholder(nd.Name, nd.Init)
+			latchFixups = append(latchFixups, struct{ newID, oldFanin int }{id, nd.Fanins[0]})
+			oldToNew[oldID] = id
+		case netlist.KindGate:
+			if !reach[oldID] {
+				continue
+			}
+			fanins := make([]int, len(nd.Fanins))
+			for i, f := range nd.Fanins {
+				fanins[i] = oldToNew[f]
+				if fanins[i] < 0 {
+					panic("synth: sweep ordering bug")
+				}
+			}
+			oldToNew[oldID] = out.AddGate(nd.Name, nd.Func, fanins...)
+		}
+	}
+	for _, fx := range latchFixups {
+		out.Nodes[fx.newID].Fanins[0] = oldToNew[fx.oldFanin]
+	}
+	for _, o := range n.Outputs {
+		out.AddOutput(o.Name, oldToNew[o.Driver])
+	}
+	return out
+}

@@ -1,0 +1,384 @@
+// Package techmap implements the conventional technology-mapping step of
+// the tool flow: covering a gate-level netlist with K-input LUTs using
+// priority-cut enumeration (depth-optimal with area-flow tie-breaking) and
+// packing LUTs and flip-flops into logic blocks (one K-LUT + one FF each,
+// as in the 4lut_sanitized.arch architecture).
+package techmap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/lutnet"
+	"repro/internal/netlist"
+)
+
+// MaxCutsPerNode bounds the priority-cut list kept per node.
+const MaxCutsPerNode = 8
+
+// cut is a set of leaf node IDs (sorted) covering a cone rooted at a node.
+type cut struct {
+	leaves []int
+	sig    uint64 // Bloom-style signature for fast superset checks
+	depth  int
+	flow   float64
+}
+
+func signature(leaves []int) uint64 {
+	var s uint64
+	for _, l := range leaves {
+		s |= 1 << uint(l%64)
+	}
+	return s
+}
+
+// dominates reports whether c's leaf set is a subset of o's (c is at least
+// as general and thus dominates o when costs are no worse).
+func (c *cut) subsetOf(o *cut) bool {
+	if c.sig&^o.sig != 0 || len(c.leaves) > len(o.leaves) {
+		return false
+	}
+	i := 0
+	for _, l := range o.leaves {
+		if i < len(c.leaves) && c.leaves[i] == l {
+			i++
+		}
+	}
+	return i == len(c.leaves)
+}
+
+// mergeCuts unions two leaf sets, returning nil if the result exceeds k.
+func mergeCuts(a, b *cut, k int) []int {
+	out := make([]int, 0, k)
+	i, j := 0, 0
+	for i < len(a.leaves) || j < len(b.leaves) {
+		var v int
+		switch {
+		case i >= len(a.leaves):
+			v = b.leaves[j]
+			j++
+		case j >= len(b.leaves):
+			v = a.leaves[i]
+			i++
+		case a.leaves[i] < b.leaves[j]:
+			v = a.leaves[i]
+			i++
+		case a.leaves[i] > b.leaves[j]:
+			v = b.leaves[j]
+			j++
+		default:
+			v = a.leaves[i]
+			i++
+			j++
+		}
+		out = append(out, v)
+		if len(out) > k {
+			return nil
+		}
+	}
+	return out
+}
+
+// Map covers the combinational logic of n with K-LUTs and packs the result
+// into logic blocks, returning a LUT circuit that is cycle-by-cycle
+// IO-equivalent to n.
+func Map(n *netlist.Netlist, k int) (*lutnet.Circuit, error) {
+	if k < 2 || k > logic.MaxVars {
+		return nil, fmt.Errorf("techmap: K=%d out of range [2,%d]", k, logic.MaxVars)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("techmap: %w", err)
+	}
+
+	order := n.TopoOrder()
+	fanouts := n.Fanouts()
+
+	// isCI: combinational inputs (PIs and latch Q outputs).
+	isCI := func(id int) bool {
+		return n.Nodes[id].Kind != netlist.KindGate
+	}
+
+	// Cut enumeration.
+	cuts := make([][]*cut, len(n.Nodes))
+	best := make([]*cut, len(n.Nodes))
+	for _, id := range order {
+		nd := n.Nodes[id]
+		if isCI(id) {
+			c := &cut{leaves: []int{id}, sig: signature([]int{id}), depth: 0, flow: 0}
+			cuts[id] = []*cut{c}
+			best[id] = c
+			continue
+		}
+		var cand []*cut
+		// Cross product of fanin cut sets.
+		work := []*cut{{leaves: nil, sig: 0}}
+		feasible := true
+		for _, f := range nd.Fanins {
+			var next []*cut
+			for _, w := range work {
+				for _, fc := range cuts[f] {
+					merged := mergeCuts(w, fc, k)
+					if merged == nil {
+						continue
+					}
+					next = append(next, &cut{leaves: merged, sig: signature(merged)})
+				}
+			}
+			if len(next) == 0 {
+				feasible = false
+				break
+			}
+			// Prune the working set to keep the cross product bounded.
+			if len(next) > 4*MaxCutsPerNode {
+				sort.Slice(next, func(i, j int) bool { return len(next[i].leaves) < len(next[j].leaves) })
+				next = next[:4*MaxCutsPerNode]
+			}
+			work = next
+		}
+		if feasible {
+			cand = work
+		}
+		// The trivial cut keeps mapping feasible even when fanin cut sets
+		// blow past K (always possible since gate arity ≤ K is NOT
+		// guaranteed — reject if the gate itself has more fanins than K).
+		if len(nd.Fanins) > k {
+			return nil, fmt.Errorf("techmap: gate %q has %d fanins > K=%d; decompose first", nd.Name, len(nd.Fanins), k)
+		}
+		triv := make([]int, len(nd.Fanins))
+		copy(triv, nd.Fanins)
+		sort.Ints(triv)
+		triv = dedupSorted(triv)
+		cand = append(cand, &cut{leaves: triv, sig: signature(triv)})
+
+		// Cost each candidate.
+		fanoutEst := float64(len(fanouts[id]))
+		if fanoutEst < 1 {
+			fanoutEst = 1
+		}
+		for _, c := range cand {
+			d := 0
+			fl := 1.0
+			for _, l := range c.leaves {
+				if best[l].depth > d {
+					d = best[l].depth
+				}
+				fl += best[l].flow
+			}
+			c.depth = d + 1
+			c.flow = fl / fanoutEst
+		}
+		// Deduplicate + dominance filter + priority selection.
+		sort.Slice(cand, func(i, j int) bool {
+			if cand[i].depth != cand[j].depth {
+				return cand[i].depth < cand[j].depth
+			}
+			if cand[i].flow != cand[j].flow {
+				return cand[i].flow < cand[j].flow
+			}
+			return len(cand[i].leaves) < len(cand[j].leaves)
+		})
+		var kept []*cut
+		for _, c := range cand {
+			dominated := false
+			for _, kc := range kept {
+				if kc.subsetOf(c) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				kept = append(kept, c)
+				if len(kept) == MaxCutsPerNode {
+					break
+				}
+			}
+		}
+		cuts[id] = kept
+		best[id] = kept[0]
+	}
+
+	// Derive required LUT roots from combinational outputs.
+	needed := map[int]bool{}
+	var require func(id int)
+	require = func(id int) {
+		if isCI(id) || needed[id] {
+			return
+		}
+		needed[id] = true
+		for _, l := range best[id].leaves {
+			require(l)
+		}
+	}
+	for _, o := range n.Outputs {
+		require(o.Driver)
+	}
+	for _, nd := range n.Nodes {
+		if nd.Kind == netlist.KindLatch {
+			require(nd.Fanins[0])
+		}
+	}
+
+	// Usage census for FF packing: a root can absorb a latch only if its
+	// sole consumer is that latch.
+	rootUses := map[int]int{}   // LUT root -> number of uses
+	latchOfD := map[int][]int{} // data-fanin node -> latch IDs
+	for id := range needed {
+		for _, l := range best[id].leaves {
+			if !isCI(l) {
+				rootUses[l]++
+			}
+		}
+	}
+	for _, o := range n.Outputs {
+		if !isCI(o.Driver) {
+			rootUses[o.Driver]++
+		}
+	}
+	for _, nd := range n.Nodes {
+		if nd.Kind == netlist.KindLatch {
+			d := nd.Fanins[0]
+			latchOfD[d] = append(latchOfD[d], nd.ID)
+			if !isCI(d) {
+				rootUses[d]++
+			}
+		}
+	}
+
+	// Build the circuit skeleton: PI indices, block indices.
+	c := &lutnet.Circuit{Name: n.Name, K: k}
+	piIdx := map[int]int{}
+	for _, nd := range n.Nodes {
+		if nd.Kind == netlist.KindInput {
+			piIdx[nd.ID] = len(c.PINames)
+			c.PINames = append(c.PINames, nd.Name)
+		}
+	}
+
+	blockOf := map[int]int{}  // netlist node (LUT root or latch) -> block index
+	absorbed := map[int]int{} // LUT root -> latch it is packed with
+	newBlock := func(name string) int {
+		c.Blocks = append(c.Blocks, lutnet.Block{Name: name})
+		return len(c.Blocks) - 1
+	}
+	// Latches first decide whether they absorb their source LUT.
+	for _, nd := range n.Nodes {
+		if nd.Kind != netlist.KindLatch {
+			continue
+		}
+		d := nd.Fanins[0]
+		if !isCI(d) && rootUses[d] == 1 && len(latchOfD[d]) == 1 && needed[d] {
+			bi := newBlock(nd.Name)
+			blockOf[nd.ID] = bi
+			absorbed[d] = nd.ID
+			blockOf[d] = bi
+		} else {
+			blockOf[nd.ID] = newBlock(nd.Name)
+		}
+	}
+	rootIDs := make([]int, 0, len(needed))
+	for id := range needed {
+		rootIDs = append(rootIDs, id)
+	}
+	sort.Ints(rootIDs)
+	for _, id := range rootIDs {
+		if _, isAbsorbed := absorbed[id]; !isAbsorbed {
+			blockOf[id] = newBlock(n.Nodes[id].Name)
+		}
+	}
+
+	srcOf := func(id int) lutnet.Source {
+		if n.Nodes[id].Kind == netlist.KindInput {
+			return lutnet.Source{Kind: lutnet.SrcPI, Idx: piIdx[id]}
+		}
+		return lutnet.Source{Kind: lutnet.SrcBlock, Idx: blockOf[id]}
+	}
+
+	// Fill block contents.
+	for _, id := range rootIDs {
+		bi := blockOf[id]
+		blk := &c.Blocks[bi]
+		blk.TT = coneTT(n, id, best[id].leaves)
+		blk.Inputs = make([]lutnet.Source, len(best[id].leaves))
+		for i, l := range best[id].leaves {
+			blk.Inputs[i] = srcOf(l)
+		}
+		if latchID, ok := absorbed[id]; ok {
+			blk.HasFF = true
+			blk.Init = n.Nodes[latchID].Init
+		}
+	}
+	for _, nd := range n.Nodes {
+		if nd.Kind != netlist.KindLatch {
+			continue
+		}
+		d := nd.Fanins[0]
+		if latchID, ok := absorbed[d]; ok && latchID == nd.ID {
+			continue // packed with its source LUT above
+		}
+		bi := blockOf[nd.ID]
+		blk := &c.Blocks[bi]
+		blk.TT = logic.VarTT(1, 0) // pass-through LUT
+		blk.Inputs = []lutnet.Source{srcOf(d)}
+		blk.HasFF = true
+		blk.Init = nd.Init
+	}
+	for _, o := range n.Outputs {
+		c.POs = append(c.POs, lutnet.PO{Name: o.Name, Src: srcOf(o.Driver)})
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("techmap: produced invalid circuit: %w", err)
+	}
+	return c, nil
+}
+
+func dedupSorted(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// coneTT computes the function of the cone rooted at root with the given
+// leaves, as a truth table over the leaves in order.
+func coneTT(n *netlist.Netlist, root int, leaves []int) logic.TT {
+	tt := logic.ConstTT(len(leaves), false)
+	leafVar := map[int]int{}
+	for i, l := range leaves {
+		leafVar[l] = i
+	}
+	for row := 0; row < tt.NumRows(); row++ {
+		memo := map[int]bool{}
+		var eval func(id int) bool
+		eval = func(id int) bool {
+			if v, ok := memo[id]; ok {
+				return v
+			}
+			if vi, ok := leafVar[id]; ok {
+				v := row>>uint(vi)&1 == 1
+				memo[id] = v
+				return v
+			}
+			nd := n.Nodes[id]
+			if nd.Kind != netlist.KindGate {
+				panic(fmt.Sprintf("techmap: cone of %d escapes leaves at node %d (%s)", root, id, nd.Name))
+			}
+			var r uint
+			for i, f := range nd.Fanins {
+				if eval(f) {
+					r |= 1 << uint(i)
+				}
+			}
+			v := nd.Func.Eval(r)
+			memo[id] = v
+			return v
+		}
+		if eval(root) {
+			tt = tt.Set(row, true)
+		}
+	}
+	return tt
+}

@@ -1,0 +1,260 @@
+package techmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/lutnet"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// checkMapEquivalent maps n and verifies cycle-by-cycle IO equivalence on
+// random stimulus.
+func checkMapEquivalent(t *testing.T, n *netlist.Netlist, k, cycles int, seed int64) *lutnet.Circuit {
+	t.Helper()
+	c, err := Map(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := netlist.NewSimulator(n)
+	sb, err := lutnet.NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for cyc := 0; cyc < cycles; cyc++ {
+		in := map[string]bool{}
+		for _, nm := range sa.InputNames() {
+			in[nm] = rng.Intn(2) == 0
+		}
+		oa := sa.Step(in)
+		ob := sb.Step(in)
+		for kk, v := range oa {
+			if ob[kk] != v {
+				t.Fatalf("cycle %d output %s: netlist %v, LUT circuit %v", cyc, kk, v, ob[kk])
+			}
+		}
+	}
+	return c
+}
+
+func TestMapCombinationalAdder(t *testing.T) {
+	b := netlist.NewBuilder("add")
+	a := b.InputVector("a", 4)
+	c := b.InputVector("b", 4)
+	b.OutputVector("s", b.RippleAdd(a, c))
+	circ := checkMapEquivalent(t, b.N, 4, 100, 1)
+	// A 4-bit ripple adder maps into far fewer 4-LUTs than 2-input gates.
+	if circ.NumBlocks() >= b.N.CountKind(netlist.KindGate) {
+		t.Errorf("mapping did not reduce node count: %d LUTs vs %d gates",
+			circ.NumBlocks(), b.N.CountKind(netlist.KindGate))
+	}
+}
+
+func TestMapSequentialCounter(t *testing.T) {
+	n := netlist.New("cnt")
+	var q [3]int
+	for i := range q {
+		q[i] = n.AddLatchPlaceholder(fmt.Sprintf("q%d", i), false)
+	}
+	// q0' = !q0; q1' = q0 xor q1; q2' = (q0&q1) xor q2
+	d0 := n.AddGate("d0", logic.VarTT(1, 0).Not(), q[0])
+	d1 := n.AddGate("d1", logic.VarTT(2, 0).Xor(logic.VarTT(2, 1)), q[0], q[1])
+	and01 := n.AddGate("a01", logic.VarTT(2, 0).And(logic.VarTT(2, 1)), q[0], q[1])
+	d2 := n.AddGate("d2", logic.VarTT(2, 0).Xor(logic.VarTT(2, 1)), and01, q[2])
+	n.SetLatchData(q[0], d0)
+	n.SetLatchData(q[1], d1)
+	n.SetLatchData(q[2], d2)
+	for i := range q {
+		n.AddOutput(fmt.Sprintf("q%d", i), q[i])
+	}
+	circ := checkMapEquivalent(t, n, 4, 20, 2)
+	// Each latch should pack with its driving LUT: exactly 3 blocks.
+	if circ.NumBlocks() != 3 {
+		t.Errorf("counter mapped to %d blocks, want 3 (FF packing failed)", circ.NumBlocks())
+	}
+	if circ.NumFFs() != 3 {
+		t.Errorf("NumFFs = %d, want 3", circ.NumFFs())
+	}
+}
+
+func TestMapRespectsK(t *testing.T) {
+	b := netlist.NewBuilder("wide")
+	ins := b.InputVector("x", 10)
+	b.Output("y", b.And(ins...))
+	for _, k := range []int{2, 3, 4, 5, 6} {
+		c, err := Map(b.N, k)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		for i := range c.Blocks {
+			if len(c.Blocks[i].Inputs) > k {
+				t.Errorf("K=%d: block %d has %d inputs", k, i, len(c.Blocks[i].Inputs))
+			}
+		}
+	}
+}
+
+func TestMapDepthNotWorseThanGateDepthOverK(t *testing.T) {
+	// A chain of 16 inverters must map to depth ≤ ceil(16 / something) —
+	// with K=4 cuts collapsing 4 levels into one LUT level (single-path
+	// cone), depth should shrink to ≤ 16 but also collapse buffers.
+	b := netlist.NewBuilder("chain")
+	x := b.Input("x")
+	s := x
+	for i := 0; i < 16; i++ {
+		s = b.Not(s)
+	}
+	b.Output("y", s)
+	c, err := Map(b.N, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whole chain is a single-input function: one LUT suffices.
+	if c.NumBlocks() != 1 {
+		t.Errorf("inverter chain mapped to %d LUTs, want 1", c.NumBlocks())
+	}
+}
+
+func TestMapDirectPIToPO(t *testing.T) {
+	n := netlist.New("wire")
+	x := n.AddInput("x")
+	n.AddOutput("y", x)
+	c, err := Map(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumBlocks() != 0 {
+		t.Errorf("PI->PO mapped to %d blocks, want 0", c.NumBlocks())
+	}
+	if c.POs[0].Src.Kind != lutnet.SrcPI {
+		t.Errorf("PO source = %v, want PI", c.POs[0].Src)
+	}
+}
+
+func TestMapConstantOutput(t *testing.T) {
+	b := netlist.NewBuilder("konst")
+	b.Output("y", b.Const(true))
+	c, err := Map(b.N, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := lutnet.NewSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := sim.Step(map[string]bool{}); !out["y"] {
+		t.Error("constant-1 output mapped to 0")
+	}
+}
+
+func TestMapRejectsOverwideGate(t *testing.T) {
+	b := netlist.NewBuilder("over")
+	ins := b.InputVector("x", 6)
+	fn := logic.ConstTT(6, false).Not() // 6-input gate
+	id := b.N.AddGate("wide", fn, ins...)
+	b.Output("y", id)
+	if _, err := Map(b.N, 4); err == nil {
+		t.Fatal("expected error for 6-input gate with K=4")
+	}
+	if _, err := Map(b.N, 6); err != nil {
+		t.Fatalf("K=6 should accept 6-input gate: %v", err)
+	}
+}
+
+func TestMapSharedLatchSourceNotAbsorbed(t *testing.T) {
+	// A LUT feeding both a latch and a PO cannot be packed into the latch
+	// block (the block output would be Q, losing the combinational value).
+	b := netlist.NewBuilder("shared")
+	x := b.Input("x")
+	y := b.Input("y")
+	g := b.And(x, y)
+	q := b.Latch(g, false)
+	b.Output("comb", g)
+	b.Output("reg", q)
+	circ := checkMapEquivalent(t, b.N, 4, 30, 3)
+	if circ.NumBlocks() != 2 {
+		t.Errorf("blocks = %d, want 2 (AND LUT + pass-through FF)", circ.NumBlocks())
+	}
+}
+
+func TestMapRandomNetlists(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := netlist.NewBuilder(fmt.Sprintf("r%d", seed))
+		sigs := b.InputVector("in", 6)
+		for i := 0; i < 80; i++ {
+			x := sigs[rng.Intn(len(sigs))]
+			y := sigs[rng.Intn(len(sigs))]
+			z := sigs[rng.Intn(len(sigs))]
+			var s int
+			switch rng.Intn(6) {
+			case 0:
+				s = b.And(x, y)
+			case 1:
+				s = b.Or(x, y)
+			case 2:
+				s = b.Xor(x, y)
+			case 3:
+				s = b.Not(x)
+			case 4:
+				s = b.Mux(x, y, z)
+			default:
+				s = b.Latch(x, rng.Intn(2) == 0)
+			}
+			sigs = append(sigs, s)
+		}
+		for i := 0; i < 6; i++ {
+			b.Output(fmt.Sprintf("out[%d]", i), sigs[len(sigs)-1-i])
+		}
+		checkMapEquivalent(t, b.N, 4, 50, seed+1000)
+	}
+}
+
+func TestMapAfterSynthEquivalent(t *testing.T) {
+	// The full front-end: builder -> synth.Optimize -> techmap.Map.
+	b := netlist.NewBuilder("front")
+	a := b.InputVector("a", 5)
+	c := b.InputVector("b", 5)
+	sum := b.RippleAdd(a, c)
+	reg := b.RegisterVector(sum)
+	b.OutputVector("s", reg)
+	opt := synth.Optimize(b.N)
+	circ := checkMapEquivalent(t, opt, 4, 60, 4)
+	if err := circ.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetsConsistency(t *testing.T) {
+	b := netlist.NewBuilder("nets")
+	x := b.Input("x")
+	y := b.Input("y")
+	g := b.And(x, y)
+	b.Output("o1", g)
+	b.Output("o2", g)
+	c, err := Map(b.N, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := c.Nets()
+	totalPins := 0
+	poSinks := 0
+	for _, nt := range nets {
+		totalPins += len(nt.BlockIn)
+		poSinks += len(nt.POSinks)
+	}
+	if poSinks != 2 {
+		t.Errorf("PO sinks = %d, want 2", poSinks)
+	}
+	wantPins := 0
+	for i := range c.Blocks {
+		wantPins += len(c.Blocks[i].Inputs)
+	}
+	if totalPins != wantPins {
+		t.Errorf("net pin total %d != block input total %d", totalPins, wantPins)
+	}
+}

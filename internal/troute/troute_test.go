@@ -1,0 +1,178 @@
+package troute
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/lutnet"
+	"repro/internal/merge"
+	"repro/internal/mode"
+	"repro/internal/netlist"
+	"repro/internal/route"
+	"repro/internal/techmap"
+)
+
+// mergedPair builds two related circuits, merges them with combined
+// placement and returns the tunable circuit with its sites.
+func mergedPair(t *testing.T, seedA, seedB int64) (*merge.Result, arch.Arch) {
+	t.Helper()
+	mk := func(seed int64) *lutnet.Circuit {
+		rng := rand.New(rand.NewSource(seed))
+		b := netlist.NewBuilder(fmt.Sprintf("m%d", seed))
+		sigs := b.InputVector("in", 4)
+		for i := 0; i < 30; i++ {
+			x := sigs[rng.Intn(len(sigs))]
+			y := sigs[rng.Intn(len(sigs))]
+			var s int
+			switch rng.Intn(4) {
+			case 0:
+				s = b.And(x, y)
+			case 1:
+				s = b.Or(x, y)
+			case 2:
+				s = b.Xor(x, y)
+			default:
+				s = b.Latch(x, false)
+			}
+			sigs = append(sigs, s)
+		}
+		for i := 0; i < 3; i++ {
+			b.Output(fmt.Sprintf("o[%d]", i), sigs[len(sigs)-1-i])
+		}
+		c, err := techmap.Map(b.N, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	modes := []*lutnet.Circuit{mk(seedA), mk(seedB)}
+	maxB, maxIO := 0, 0
+	for _, c := range modes {
+		if c.NumBlocks() > maxB {
+			maxB = c.NumBlocks()
+		}
+		if io := c.NumPIs() + len(c.POs); io > maxIO {
+			maxIO = io
+		}
+	}
+	side := arch.MinGridForBlocks(maxB, maxIO, 1.2)
+	a := arch.New(side, side, 10)
+	res, err := merge.CombinedPlace("tr", modes, a, merge.Options{Seed: 1, Effort: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, a
+}
+
+func TestRouteTunableBasics(t *testing.T) {
+	res, a := mergedPair(t, 1, 2)
+	g := arch.BuildGraph(a)
+	tr, err := RouteTunable(g, res.Tunable, res.LUTSite, res.PadSite, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalWire <= 0 {
+		t.Error("no wire used")
+	}
+	if tr.ParamRoutingBits+tr.StaticOnBits != len(tr.BitModes) {
+		t.Error("bit classification does not partition BitModes")
+	}
+	all := mode.All(res.Tunable.NumModes)
+	for bit, act := range tr.BitModes {
+		if act.Empty() {
+			t.Fatalf("bit %d has empty activation", bit)
+		}
+		if int(bit) >= g.NumRoutingBits {
+			t.Fatalf("bit %d out of range", bit)
+		}
+		_ = all
+	}
+	for m, w := range tr.PerModeWire {
+		if w <= 0 {
+			t.Errorf("mode %d uses no wire", m)
+		}
+		if w > tr.TotalWire {
+			t.Errorf("mode %d wire %d exceeds union %d", m, w, tr.TotalWire)
+		}
+	}
+}
+
+func TestSharedConnectionsNeedNoReconfig(t *testing.T) {
+	// Merging a circuit with itself: every connection is active in both
+	// modes, so no routing bit may be parameterised.
+	res, a := mergedPair(t, 7, 7)
+	g := arch.BuildGraph(a)
+	tr, err := RouteTunable(g, res.Tunable, res.LUTSite, res.PadSite, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Tunable.Stats()
+	if st.SharedConns != st.NumConns {
+		// Combined placement may not perfectly overlay identical circuits
+		// at finite effort; tolerate a small mismatch but parameterised
+		// bits must be proportionally small.
+		frac := float64(tr.ParamRoutingBits) / float64(len(tr.BitModes)+1)
+		if frac > 0.5 {
+			t.Errorf("self-merge: %.0f%% of bits parameterised (conns %d/%d shared)",
+				100*frac, st.SharedConns, st.NumConns)
+		}
+	} else if tr.ParamRoutingBits != 0 {
+		t.Errorf("fully shared tunable circuit still has %d parameterised bits", tr.ParamRoutingBits)
+	}
+}
+
+func TestReconfigBitsAccounting(t *testing.T) {
+	res, a := mergedPair(t, 3, 4)
+	g := arch.BuildGraph(a)
+	tr, err := RouteTunable(g, res.Tunable, res.LUTSite, res.PadSite, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.TotalLUTBits() + tr.ParamRoutingBits
+	if tr.ReconfigBits(a) != want {
+		t.Errorf("ReconfigBits = %d, want %d", tr.ReconfigBits(a), want)
+	}
+	// DCS must beat rewriting the whole region.
+	if tr.ReconfigBits(a) >= g.TotalConfigBits() {
+		t.Errorf("DCS bits %d not below region total %d", tr.ReconfigBits(a), g.TotalConfigBits())
+	}
+}
+
+func TestBuildNetsShapes(t *testing.T) {
+	res, a := mergedPair(t, 5, 6)
+	g := arch.BuildGraph(a)
+	nets, acts, err := BuildNets(g, res.Tunable, res.LUTSite, res.PadSite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) != len(acts) {
+		t.Fatal("nets/acts length mismatch")
+	}
+	for i, n := range nets {
+		if len(n.Sinks) == 0 {
+			t.Fatalf("net %s has no sinks", n.Name)
+		}
+		if len(n.SinkMasks) != len(n.Sinks) {
+			t.Fatalf("net %s: sink masks not parallel", n.Name)
+		}
+		if n.ModeMask == 0 {
+			t.Fatalf("net %s: zero mode mask", n.Name)
+		}
+		for _, sk := range n.Sinks {
+			if acts[i][sk].Empty() {
+				t.Fatalf("net %s: sink %d without activation", n.Name, sk)
+			}
+		}
+	}
+}
+
+func TestBuildNetsRejectsBadSites(t *testing.T) {
+	res, a := mergedPair(t, 8, 9)
+	g := arch.BuildGraph(a)
+	_, _, err := BuildNets(g, res.Tunable, res.LUTSite[:1], res.PadSite)
+	if err == nil {
+		t.Fatal("mismatched site arrays accepted")
+	}
+}

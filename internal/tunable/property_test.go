@@ -1,0 +1,95 @@
+package tunable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+	"repro/internal/lutnet"
+)
+
+// TestQuickFig4Construction checks the paper's Fig. 4 invariant on random
+// LUT contents: for every mode m and truth-table row r, the parameterised
+// bit evaluated at m equals the mode's own LUT bit.
+func TestQuickFig4Construction(t *testing.T) {
+	build := func(bits uint64) *lutnet.Circuit {
+		return &lutnet.Circuit{
+			Name: "q", K: 4,
+			PINames: []string{"a", "b", "c", "d"},
+			Blocks: []lutnet.Block{{
+				Name: "l",
+				TT:   logic.NewTT(4, bits),
+				Inputs: []lutnet.Source{
+					{Kind: lutnet.SrcPI, Idx: 0},
+					{Kind: lutnet.SrcPI, Idx: 1},
+					{Kind: lutnet.SrcPI, Idx: 2},
+					{Kind: lutnet.SrcPI, Idx: 3},
+				},
+			}},
+			POs: []lutnet.PO{{Name: "y", Src: lutnet.Source{Kind: lutnet.SrcBlock, Idx: 0}}},
+		}
+	}
+	prop := func(bits0, bits1 uint64) bool {
+		modes := []*lutnet.Circuit{build(bits0), build(bits1)}
+		tc, err := Merge("q", modes, Identity(modes))
+		if err != nil {
+			return false
+		}
+		pb := tc.TLUTBits(0)
+		want := []logic.TT{logic.NewTT(4, bits0), logic.NewTT(4, bits1)}
+		for m := 0; m < 2; m++ {
+			for r := 0; r < 16; r++ {
+				if pb[r].Contains(m) != want[m].Get(r) {
+					return false
+				}
+			}
+			// FF-select bit off in both modes (no registers here).
+			if pb[16].Contains(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMergePreservesConnectionCount checks a structural invariant on
+// random identity merges: the number of per-mode connections equals the sum
+// over Tunable connections of their activation sizes.
+func TestQuickMergePreservesConnectionCount(t *testing.T) {
+	prop := func(bits0, bits1 uint64) bool {
+		modes := []*lutnet.Circuit{
+			{
+				Name: "m0", K: 4, PINames: []string{"a", "b"},
+				Blocks: []lutnet.Block{{
+					Name: "l0", TT: logic.NewTT(2, bits0),
+					Inputs: []lutnet.Source{{Kind: lutnet.SrcPI, Idx: 0}, {Kind: lutnet.SrcPI, Idx: 1}},
+				}},
+				POs: []lutnet.PO{{Name: "y", Src: lutnet.Source{Kind: lutnet.SrcBlock, Idx: 0}}},
+			},
+			{
+				Name: "m1", K: 4, PINames: []string{"a", "b"},
+				Blocks: []lutnet.Block{{
+					Name: "l1", TT: logic.NewTT(2, bits1),
+					Inputs: []lutnet.Source{{Kind: lutnet.SrcPI, Idx: 1}, {Kind: lutnet.SrcPI, Idx: 0}},
+				}},
+				POs: []lutnet.PO{{Name: "y", Src: lutnet.Source{Kind: lutnet.SrcBlock, Idx: 0}}},
+			},
+		}
+		tc, err := Merge("q", modes, Identity(modes))
+		if err != nil {
+			return false
+		}
+		st := tc.Stats()
+		sum := 0
+		for _, cn := range tc.Conns {
+			sum += cn.Act.Count()
+		}
+		return sum == st.PerModeConn[0]+st.PerModeConn[1]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

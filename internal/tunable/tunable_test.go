@@ -1,0 +1,319 @@
+package tunable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/lutnet"
+	"repro/internal/mode"
+	"repro/internal/netlist"
+	"repro/internal/techmap"
+)
+
+// buildMode maps a small netlist to a LUT circuit.
+func buildMode(t *testing.T, build func(b *netlist.Builder)) *lutnet.Circuit {
+	t.Helper()
+	b := netlist.NewBuilder("m")
+	build(b)
+	c, err := techmap.Map(b.N, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func andMode(t *testing.T) *lutnet.Circuit {
+	return buildMode(t, func(b *netlist.Builder) {
+		x := b.Input("x")
+		y := b.Input("y")
+		b.Output("z", b.And(x, y))
+	})
+}
+
+func orMode(t *testing.T) *lutnet.Circuit {
+	return buildMode(t, func(b *netlist.Builder) {
+		x := b.Input("x")
+		y := b.Input("y")
+		b.Output("z", b.Or(x, y))
+	})
+}
+
+func TestIdentityMergeTwoModes(t *testing.T) {
+	modes := []*lutnet.Circuit{andMode(t), orMode(t)}
+	asg := Identity(modes)
+	tc, err := Merge("andor", modes, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.NumModes != 2 {
+		t.Fatalf("NumModes = %d", tc.NumModes)
+	}
+	st := tc.Stats()
+	if st.NumTLUTs != 1 {
+		t.Errorf("TLUTs = %d, want 1 (both modes are a single LUT)", st.NumTLUTs)
+	}
+	// Both modes connect pi0->lut, pi1->lut, lut->po: all three connections
+	// should merge with activation True.
+	if st.SharedConns != st.NumConns {
+		t.Errorf("conns: %d total, %d shared — identical topology must fully merge", st.NumConns, st.SharedConns)
+	}
+}
+
+func TestMergedTLUTBitsFig4(t *testing.T) {
+	// The paper's Fig. 4: merging LUT contents per mode; each bit's
+	// parameterised value must evaluate to the right content per mode.
+	modes := []*lutnet.Circuit{andMode(t), orMode(t)}
+	tc, err := Merge("andor", modes, Identity(modes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := tc.TLUTBits(0)
+	for m := 0; m < 2; m++ {
+		content := tc.TLUTs[0].PerMode[m]
+		if content == nil {
+			t.Fatal("TLUT inactive in a mode")
+		}
+		varMap := make([]int, content.TT.NumVars)
+		for i := range varMap {
+			varMap[i] = i
+		}
+		full := content.TT.Expand(tc.K, varMap)
+		for b := 0; b < 1<<uint(tc.K); b++ {
+			if bits[b].Contains(m) != full.Get(b) {
+				t.Errorf("mode %d bit %d: parameterised %v, content %v", m, b, bits[b].Contains(m), full.Get(b))
+			}
+		}
+	}
+	// AND and OR differ in some truth-table bits: those must be
+	// parameterised (neither empty nor all-modes).
+	all := mode.All(2)
+	hasParam := false
+	for _, s := range bits {
+		if !s.Empty() && s != all {
+			hasParam = true
+		}
+	}
+	if !hasParam {
+		t.Error("AND/OR merge has no parameterised LUT bits")
+	}
+}
+
+func TestExtractModeRoundTrip(t *testing.T) {
+	modes := []*lutnet.Circuit{andMode(t), orMode(t)}
+	tc, err := Merge("andor", modes, Identity(modes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, want := range modes {
+		got, err := tc.ExtractMode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simEq(t, want, got, 32, int64(m))
+	}
+}
+
+// simEq checks cycle-by-cycle IO equivalence of two LUT circuits.
+func simEq(t *testing.T, a, b *lutnet.Circuit, cycles int, seed int64) {
+	t.Helper()
+	sa, err := lutnet.NewSimulator(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := lutnet.NewSimulator(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for cyc := 0; cyc < cycles; cyc++ {
+		in := map[string]bool{}
+		for _, nm := range a.PINames {
+			in[nm] = rng.Intn(2) == 0
+		}
+		oa, ob := sa.Step(in), sb.Step(in)
+		for k, v := range oa {
+			if ob[k] != v {
+				t.Fatalf("cycle %d output %s: %v vs %v", cyc, k, v, ob[k])
+			}
+		}
+	}
+}
+
+func TestMergeRejectsDoubleOccupancy(t *testing.T) {
+	m0 := andMode(t)
+	asg := Identity([]*lutnet.Circuit{m0})
+	// Force two blocks of the same mode into one group.
+	two := buildMode(t, func(b *netlist.Builder) {
+		x := b.Input("x")
+		y := b.Input("y")
+		g := b.And(x, y)
+		h := b.Or(g, x)
+		i := b.Xor(h, y)
+		b.Output("z", i)
+	})
+	if two.NumBlocks() < 2 {
+		t.Skip("need at least 2 blocks")
+	}
+	asg2 := Identity([]*lutnet.Circuit{two})
+	for b := range asg2.BlockGroup[0] {
+		asg2.BlockGroup[0][b] = 0 // all blocks -> group 0
+	}
+	if _, err := Merge("bad", []*lutnet.Circuit{two}, asg2); err == nil {
+		t.Fatal("expected double-occupancy error")
+	}
+	_ = asg
+}
+
+func TestMergeDifferentSizes(t *testing.T) {
+	// Modes of different LUT counts: the tunable circuit is as big as the
+	// bigger mode (the area claim of the paper).
+	big := buildMode(t, func(b *netlist.Builder) {
+		v := b.InputVector("a", 4)
+		w := b.InputVector("b", 4)
+		b.OutputVector("s", b.RippleAdd(v, w))
+	})
+	small := andMode(t)
+	modes := []*lutnet.Circuit{big, small}
+	tc, err := Merge("mix", modes, Identity(modes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tc.TLUTs) != big.NumBlocks() {
+		t.Errorf("TLUTs = %d, want %d (size of biggest mode)", len(tc.TLUTs), big.NumBlocks())
+	}
+	for m := range modes {
+		got, err := tc.ExtractMode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simEq(t, modes[m], got, 24, int64(m+10))
+	}
+}
+
+func TestActivationExpressions(t *testing.T) {
+	modes := []*lutnet.Circuit{andMode(t), orMode(t)}
+	tc, err := Merge("andor", modes, Identity(modes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cn := range tc.Conns {
+		expr := cn.Act.Expression(tc.NumModes)
+		if cn.Act.IsAll(2) && expr != "1" {
+			t.Errorf("shared connection rendered %q, want 1", expr)
+		}
+		if cn.Act == mode.Single(0) && expr != "!m0" {
+			t.Errorf("mode-0 connection rendered %q, want !m0", expr)
+		}
+	}
+}
+
+func TestMergeThreeModes(t *testing.T) {
+	xorMode := buildMode(t, func(b *netlist.Builder) {
+		x := b.Input("x")
+		y := b.Input("y")
+		b.Output("z", b.Xor(x, y))
+	})
+	modes := []*lutnet.Circuit{andMode(t), orMode(t), xorMode}
+	tc, err := Merge("three", modes, Identity(modes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode.NumModeBits(tc.NumModes) != 2 {
+		t.Errorf("3 modes need 2 mode bits")
+	}
+	for m := range modes {
+		got, err := tc.ExtractMode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simEq(t, modes[m], got, 16, int64(m+20))
+	}
+}
+
+func TestMergeRandomPermutedAssignment(t *testing.T) {
+	// Any legal permutation assignment must produce an equivalent tunable
+	// circuit; merging quality changes, correctness must not.
+	mk := func(seed int64) *lutnet.Circuit {
+		return buildMode(t, func(b *netlist.Builder) {
+			rng := rand.New(rand.NewSource(seed))
+			sigs := b.InputVector("in", 4)
+			for i := 0; i < 24; i++ {
+				x := sigs[rng.Intn(len(sigs))]
+				y := sigs[rng.Intn(len(sigs))]
+				var s int
+				switch rng.Intn(4) {
+				case 0:
+					s = b.And(x, y)
+				case 1:
+					s = b.Or(x, y)
+				case 2:
+					s = b.Xor(x, y)
+				default:
+					s = b.Latch(x, false)
+				}
+				sigs = append(sigs, s)
+			}
+			for i := 0; i < 3; i++ {
+				b.Output(fmt.Sprintf("o[%d]", i), sigs[len(sigs)-1-i])
+			}
+		})
+	}
+	modes := []*lutnet.Circuit{mk(1), mk(2)}
+	asg := Identity(modes)
+	// Permute mode 1's block groups randomly within a widened group space.
+	rng := rand.New(rand.NewSource(99))
+	n := asg.NumLUTGroups + 4
+	perm := rng.Perm(n)
+	for b := range asg.BlockGroup[1] {
+		asg.BlockGroup[1][b] = perm[b]
+	}
+	asg.NumLUTGroups = n
+	tc, err := Merge("perm", modes, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range modes {
+		got, err := tc.ExtractMode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simEq(t, modes[m], got, 32, int64(m+30))
+	}
+}
+
+func TestTLUTBitsFFSelect(t *testing.T) {
+	reg := buildMode(t, func(b *netlist.Builder) {
+		x := b.Input("x")
+		y := b.Input("y")
+		b.Output("z", b.Latch(b.And(x, y), false))
+	})
+	comb := andMode(t)
+	modes := []*lutnet.Circuit{reg, comb}
+	tc, err := Merge("ff", modes, Identity(modes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := tc.TLUTBits(0)
+	ffBit := bits[1<<uint(tc.K)]
+	if !ffBit.Contains(0) || ffBit.Contains(1) {
+		t.Errorf("FF-select bit = %b, want mode0 only", ffBit)
+	}
+}
+
+func TestStatsPerModeConnections(t *testing.T) {
+	modes := []*lutnet.Circuit{andMode(t), orMode(t)}
+	tc, err := Merge("andor", modes, Identity(modes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tc.Stats()
+	for m, n := range st.PerModeConn {
+		// Each mode has 2 PI->LUT connections and 1 LUT->PO connection.
+		if n != 3 {
+			t.Errorf("mode %d connections = %d, want 3", m, n)
+		}
+	}
+	_ = logic.TT{}
+}

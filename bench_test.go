@@ -6,8 +6,10 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/arch"
@@ -49,6 +51,73 @@ func miniModes(b *testing.B) []*lutnet.Circuit {
 		b.Fatal(err)
 	}
 	return mapped
+}
+
+// sweepSuites builds a small one-suite workload with six pairs over four
+// mode circuits — enough independent jobs to exercise the worker pool.
+func sweepSuites(b *testing.B) []*experiments.Suite {
+	b.Helper()
+	var nls []*netlist.Netlist
+	for i, pat := range []string{`GET /(a|b)x+`, `POST /(c|d)y+`, `PUT /(e|f)z+`, `HEAD /(g|h)w+`} {
+		n, err := regexgen.Generate(fmt.Sprintf("m%d", i), pat, regexgen.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nls = append(nls, n)
+	}
+	mapped, err := flow.MapModes(nls, benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []*experiments.Suite{{
+		Name:     "RegExp",
+		Circuits: mapped,
+		Pairs:    [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}},
+	}}
+}
+
+// runSweep executes the pair sweep on the given worker count with a fresh
+// cache (so every run does the full work) and returns the rendered report.
+func runSweep(b *testing.B, suites []*experiments.Suite, workers int) []byte {
+	b.Helper()
+	sc := experiments.Scale{Effort: 0.15, Seed: 1, Cache: flow.NewCache()}
+	results, err := experiments.RunAll(suites, sc, workers, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	experiments.WriteFigures(&buf, results)
+	return buf.Bytes()
+}
+
+// BenchmarkSweep measures the experiment sweep through the concurrent
+// runner: the serial baseline (one worker) against the full worker pool.
+// On a 4+ core machine the parallel variant should win by ≥2×. Every run's
+// rendered report is checked byte for byte against the serial baseline —
+// the worker count may change only the wall clock, never the results.
+func BenchmarkSweep(b *testing.B) {
+	suites := sweepSuites(b)
+	baseline := runSweep(b, suites, 1)
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workerCounts = append(workerCounts, 4, n)
+	} else if n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		name := "serial"
+		if workers > 1 {
+			name = fmt.Sprintf("parallel-j%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				got := runSweep(b, suites, workers)
+				if !bytes.Equal(got, baseline) {
+					b.Fatalf("report at %d workers differs from serial baseline", workers)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkTable1SuiteGeneration regenerates Table I: the three benchmark

@@ -3,22 +3,31 @@
 // Fig. 7 (wirelength vs MDR), the §IV-C area observations, and the merge
 // ablations.
 //
+// The pair sweep — the dominant cost — runs on a worker pool (-j N,
+// default GOMAXPROCS); the jobs are independent, the workers share one
+// immutable routing-resource graph cache, and the report is byte-identical
+// at any worker count. Progress is reported on stderr.
+//
 // Usage:
 //
-//	mmbench -exp all|table1|fig5|fig6|fig7|area|ablation [-pairs 4] [-effort 0.4] [-seed 1] [-full]
+//	mmbench -exp all|table1|fig5|fig6|fig7|area|ablation [-j 8] [-pairs 4] [-effort 0.4] [-seed 1] [-full]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/flow"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, table1, fig5, fig6, fig7, area, ablation, frames")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the pair sweep")
 	pairs := flag.Int("pairs", 4, "multi-mode pairs per suite (paper: 10)")
 	effort := flag.Float64("effort", 0.4, "annealing effort")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -30,6 +39,9 @@ func main() {
 	if *full {
 		sc = experiments.FullScale()
 	}
+	// One cache for the whole invocation: the figure sweep, the area pass
+	// and the ablations reuse each other's graphs and placements.
+	sc.Cache = flow.NewCache()
 
 	start := time.Now()
 	suites, err := experiments.BuildSuites(sc)
@@ -50,15 +62,20 @@ func main() {
 	needPairs := map[string]bool{"all": true, "fig5": true, "fig6": true, "fig7": true}
 	var results []*experiments.PairResult
 	if needPairs[*exp] {
+		total := 0
 		for _, s := range suites {
-			rs, err := experiments.RunSuite(s, sc, func(msg string) {
-				fmt.Fprintf(os.Stderr, "running %s...\n", msg)
-			})
-			if err != nil {
-				fatal(err)
-			}
-			results = append(results, rs...)
+			total += len(s.Pairs)
 		}
+		sweepStart := time.Now()
+		var started atomic.Int32
+		results, err = experiments.RunAll(suites, sc, *jobs, func(msg string) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] running %s...\n", started.Add(1), total, msg)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# sweep: %d pairs on %d workers in %v\n",
+			total, *jobs, time.Since(sweepStart).Round(time.Millisecond))
 		if *verbose {
 			for _, r := range results {
 				experiments.PrintPair(os.Stdout, r)
@@ -69,11 +86,7 @@ func main() {
 
 	switch *exp {
 	case "all":
-		experiments.PrintFig5(os.Stdout, experiments.Fig5(results))
-		fmt.Println()
-		experiments.PrintFig6(os.Stdout, experiments.Fig6(results, "RegExp"))
-		fmt.Println()
-		experiments.PrintFig7(os.Stdout, experiments.Fig7(results))
+		experiments.WriteFigures(os.Stdout, results)
 		fmt.Println()
 		printArea(suites, sc)
 		fmt.Println()

@@ -358,3 +358,34 @@ func BuildGraph(a Arch) *Graph {
 func (g *Graph) TotalConfigBits() int {
 	return g.NumRoutingBits + g.Arch.TotalLUTBits()
 }
+
+// Checksum returns an FNV-1a hash over the graph's nodes, adjacency and
+// configuration-bit assignment. BuildGraph is deterministic, so two graphs
+// of the same architecture have equal checksums; comparing a shared graph's
+// checksum against a freshly built one is a cheap immutability check when
+// one graph serves many concurrent routers.
+func (g *Graph) Checksum() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, n := range g.Nodes {
+		mix(uint64(n.Type)<<48 | uint64(uint16(n.X))<<32 | uint64(uint16(n.Y))<<16 | uint64(uint16(n.Track)))
+	}
+	for _, v := range g.edgeStart {
+		mix(uint64(uint32(v)))
+	}
+	for i := range g.edgeTo {
+		mix(uint64(uint32(g.edgeTo[i]))<<32 | uint64(uint32(g.edgeBit[i])))
+	}
+	mix(uint64(g.NumRoutingBits))
+	return h
+}

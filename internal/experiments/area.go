@@ -133,7 +133,7 @@ func RunAblation(s *Suite, sc Scale) (*AblationResult, error) {
 		if attempt >= 8 {
 			return nil, fmt.Errorf("experiments: ablation %s: %w", name, err)
 		}
-		region = flow.BuildRegion(region.Arch.Width, region.Arch.W+2)
+		region = cfg.NewRegion(region.Arch.Width, region.Arch.W+2)
 	}
 	res := &AblationResult{
 		Name:          name,

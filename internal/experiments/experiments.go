@@ -4,6 +4,11 @@
 // §IV-C area observations, and the ablations discussed in the text. The
 // workloads are the three suites of §IV-A: regular-expression engines,
 // constant-coefficient FIR filters, and general (MCNC-style) circuits.
+//
+// The benchmark × pair sweep is executed by Runner, a worker pool that
+// fans the independent jobs across GOMAXPROCS (or any requested number of)
+// workers with deterministic result ordering, sharing routing-resource
+// graphs and per-benchmark placements between jobs through a flow.Cache.
 package experiments
 
 import (
@@ -28,6 +33,12 @@ type Scale struct {
 	// Effort is the annealing effort (paper-equivalent ≈ 1.0).
 	Effort float64
 	Seed   int64
+	// Cache shares deterministic intermediate products (routing-resource
+	// graphs, placements) between jobs. Runner fills it automatically;
+	// set it explicitly to extend the sharing across separate runs (e.g.
+	// the figure sweep and the ablations of one mmbench invocation).
+	// Nil means no memoization. Results are identical either way.
+	Cache *flow.Cache
 }
 
 // DefaultScale is a laptop-friendly configuration that preserves the
@@ -47,7 +58,7 @@ type Suite struct {
 }
 
 func (s *Suite) config(sc Scale) flow.Config {
-	return flow.Config{PlaceEffort: sc.Effort, Seed: sc.Seed}
+	return flow.Config{PlaceEffort: sc.Effort, Seed: sc.Seed, Cache: sc.Cache}
 }
 
 // BuildSuites generates the three benchmark suites of §IV-A.
@@ -225,20 +236,10 @@ func RunPair(suite *Suite, pair [2]int, sc Scale) (*PairResult, error) {
 	return res, nil
 }
 
-// RunSuite evaluates every selected pair of a suite.
+// RunSuite evaluates every selected pair of a suite, serially (one
+// worker). It is the single-suite form of Runner.Run.
 func RunSuite(s *Suite, sc Scale, progress func(string)) ([]*PairResult, error) {
-	var out []*PairResult
-	for _, p := range s.Pairs {
-		if progress != nil {
-			progress(fmt.Sprintf("%s pair (%d,%d)", s.Name, p[0], p[1]))
-		}
-		r, err := RunPair(s, p, sc)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return (&Runner{Workers: 1, Progress: progress}).Run([]*Suite{s}, sc)
 }
 
 // Dist is a min/avg/max summary.

@@ -61,6 +61,19 @@ func PrintArea(w io.Writer, rows []AreaRow, firConst, firGeneric int, firRatio f
 		firConst, firGeneric, 100*firRatio)
 }
 
+// WriteFigures writes the three pair-sweep figures (Fig. 5, Fig. 6 for the
+// RegExp suite, Fig. 7) in the fixed report layout. Results are consumed
+// in slice order, so for a deterministically ordered result set — e.g. the
+// output of Runner.Run at any worker count — the rendered report is byte
+// identical.
+func WriteFigures(w io.Writer, results []*PairResult) {
+	PrintFig5(w, Fig5(results))
+	fmt.Fprintln(w)
+	PrintFig6(w, Fig6(results, "RegExp"))
+	fmt.Fprintln(w)
+	PrintFig7(w, Fig7(results))
+}
+
 // PrintPair writes one pair's detailed metrics.
 func PrintPair(w io.Writer, r *PairResult) {
 	fmt.Fprintf(w, "%-18s modes %4d/%4d LUTs  grid %2dx%-2d W=%2d (min %2d)  "+

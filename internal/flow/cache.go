@@ -1,0 +1,124 @@
+package flow
+
+import (
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/lutnet"
+	"repro/internal/place"
+)
+
+// Cache memoizes the expensive, deterministic intermediate products of the
+// flows so repeated jobs share work instead of redoing it:
+//
+//   - Routing-resource graphs, keyed by region geometry. A graph is built
+//     once and then shared read-only — the channel-width bisection of
+//     SizeRegion, the widening retries of RunComparison, and every worker
+//     of a concurrent sweep all route over the same immutable structure.
+//   - Placements, keyed by (circuit, logic-array side, seed, effort).
+//     Placement is independent of channel width, so the placement computed
+//     for the first bisection probe is reused by every later probe and by
+//     the final MDR implementation on the sized region.
+//
+// Everything cached is a pure function of its key, so cached and uncached
+// runs produce identical results; a Cache only changes how often the work
+// is done. All methods are safe for concurrent use, and concurrent
+// requests for the same key compute the value exactly once.
+type Cache struct {
+	mu     sync.Mutex
+	graphs map[graphKey]*graphEntry
+	places map[placeKey]*placeEntry
+}
+
+// NewCache returns an empty cache, ready for concurrent use.
+func NewCache() *Cache {
+	return &Cache{
+		graphs: map[graphKey]*graphEntry{},
+		places: map[placeKey]*placeEntry{},
+	}
+}
+
+type graphKey struct {
+	side, w int
+}
+
+type graphEntry struct {
+	once sync.Once
+	g    *arch.Graph
+}
+
+// graph returns the routing-resource graph of a side×side region with
+// channel width w, building it on first request.
+func (c *Cache) graph(side, w int) *arch.Graph {
+	c.mu.Lock()
+	e := c.graphs[graphKey{side: side, w: w}]
+	if e == nil {
+		e = &graphEntry{}
+		c.graphs[graphKey{side: side, w: w}] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		g := arch.BuildGraph(arch.New(side, side, w))
+		// Publish under mu so that Graphs — which cannot use once.Do
+		// without racing to mark unbuilt entries done — can read e.g
+		// safely; callers of graph() itself are ordered by once.Do.
+		c.mu.Lock()
+		e.g = g
+		c.mu.Unlock()
+	})
+	return e.g
+}
+
+// Graphs returns the graphs currently held by the cache, for tests and
+// diagnostics (e.g. verifying that shared graphs were not mutated).
+func (c *Cache) Graphs() []*arch.Graph {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*arch.Graph
+	for _, e := range c.graphs {
+		if e.g != nil { // published under mu; nil while a build is in flight
+			out = append(out, e.g)
+		}
+	}
+	return out
+}
+
+// placeKey identifies a placement by everything place.Place depends on:
+// the circuit (by identity — suites share *lutnet.Circuit pointers across
+// pairs), the logic-array dimensions, and the annealer seed and effort.
+// Channel width is deliberately absent: placement never looks at it.
+type placeKey struct {
+	circuit       *lutnet.Circuit
+	width, height int
+	seed          int64
+	effort        float64
+}
+
+type placeEntry struct {
+	once sync.Once
+	pl   *place.Placement
+	cc   place.CircuitCells
+	err  error
+}
+
+// placement returns the annealed placement of circuit ct on a
+// width×height logic array under the given seed and effort, computing it
+// on first request. The returned placement is shared: callers must treat
+// it as immutable.
+func (c *Cache) placement(ct *lutnet.Circuit, width, height int, seed int64, effort float64) (*place.Placement, place.CircuitCells, error) {
+	k := placeKey{circuit: ct, width: width, height: height, seed: seed, effort: effort}
+	c.mu.Lock()
+	e := c.places[k]
+	if e == nil {
+		e = &placeEntry{}
+		c.places[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		a := arch.New(width, height, 4) // channel width is irrelevant to placement
+		prob, cc := place.FromCircuit(ct)
+		pl, err := place.Place(prob, a, place.Options{Seed: seed, Effort: effort})
+		e.pl, e.cc, e.err = pl, cc, err
+	})
+	return e.pl, e.cc, e.err
+}

@@ -1,0 +1,130 @@
+package flow
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestGraphCacheSingleInstance checks that concurrent requests for the
+// same region geometry all receive one graph instance, built once, and
+// that the shared instance matches an independently built graph.
+func TestGraphCacheSingleInstance(t *testing.T) {
+	c := NewCache()
+	const workers = 8
+	got := make([]*arch.Graph, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = c.graph(5, 6)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("worker %d received a different graph instance", i)
+		}
+	}
+	fresh := arch.BuildGraph(arch.New(5, 5, 6))
+	if got[0].Checksum() != fresh.Checksum() {
+		t.Fatalf("cached graph differs from a freshly built one")
+	}
+	if gs := c.Graphs(); len(gs) != 1 {
+		t.Fatalf("cache holds %d graphs, want 1", len(gs))
+	}
+}
+
+// TestPlacementMemoMatchesUncached checks that the memoized placement path
+// returns exactly what the direct path computes: the memo must change how
+// often work is done, never its outcome.
+func TestPlacementMemoMatchesUncached(t *testing.T) {
+	cfg := testConfig().filled()
+	mapped, err := MapModes(buildPair(t, 3, 4, 30), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mapped[0]
+	a := arch.New(6, 6, 8)
+
+	plain, ccPlain, err := placeCircuit(c, a, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := cfg
+	cached.Cache = NewCache()
+	memo1, ccMemo, err := placeCircuit(c, a, cached, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, memo1) {
+		t.Fatalf("memoized placement differs from direct placement")
+	}
+	if !reflect.DeepEqual(ccPlain, ccMemo) {
+		t.Fatalf("memoized circuit cells differ from direct ones")
+	}
+	// Second request must hit the memo: same instance back.
+	memo2, _, err := placeCircuit(c, a, cached, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memo1 != memo2 {
+		t.Fatalf("second request rebuilt the placement instead of reusing it")
+	}
+	// Placement is independent of channel width: a different W, same side,
+	// must reuse the same entry.
+	wide := arch.New(6, 6, 16)
+	memo3, _, err := placeCircuit(c, wide, cached, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memo1 != memo3 {
+		t.Fatalf("channel width leaked into the placement key")
+	}
+	// A different seed must not.
+	other, _, err := placeCircuit(c, a, cached, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memo1 == other {
+		t.Fatalf("different seeds shared one placement entry")
+	}
+}
+
+// TestComparisonIdenticalWithCache runs the full three-way comparison with
+// and without a cache and demands identical metrics — the guarantee the
+// concurrent sweep's byte-identical reports rest on.
+func TestComparisonIdenticalWithCache(t *testing.T) {
+	cfg := testConfig()
+	mapped, err := MapModes(buildPair(t, 1, 2, 30), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := RunComparison("plain", mapped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedCfg := cfg
+	cachedCfg.Cache = NewCache()
+	cached, err := RunComparison("cached", mapped, cachedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.MDR.ReconfigBits != cached.MDR.ReconfigBits ||
+		plain.MDR.DiffRoutingBits != cached.MDR.DiffRoutingBits ||
+		plain.MDR.AvgWire != cached.MDR.AvgWire {
+		t.Fatalf("MDR metrics differ with cache: %+v vs %+v", plain.MDR, cached.MDR)
+	}
+	if plain.EdgeMatch.ReconfigBits != cached.EdgeMatch.ReconfigBits ||
+		plain.WireLen.ReconfigBits != cached.WireLen.ReconfigBits ||
+		plain.EdgeMatch.AvgWire != cached.EdgeMatch.AvgWire ||
+		plain.WireLen.AvgWire != cached.WireLen.AvgWire {
+		t.Fatalf("DCS metrics differ with cache")
+	}
+	if plain.Region.Arch != cached.Region.Arch || plain.Region.MinW != cached.Region.MinW {
+		t.Fatalf("region sizing differs with cache: %+v vs %+v", plain.Region.Arch, cached.Region.Arch)
+	}
+}

@@ -46,6 +46,6 @@ func RunComparison(name string, modes []*lutnet.Circuit, cfg Config) (*Compariso
 		if attempt >= 6 {
 			return nil, fmt.Errorf("flow: %s: %w", name, err)
 		}
-		region = BuildRegion(region.Arch.Width, region.Arch.W+2)
+		region = cfg.NewRegion(region.Arch.Width, region.Arch.W+2)
 	}
 }

@@ -36,6 +36,10 @@ type Config struct {
 	PlaceEffort float64 // SA effort (default 1.0)
 	Seed        int64
 	RouteOpts   route.Options
+	// Cache, when non-nil, memoizes routing-resource graphs and placements
+	// across calls (see Cache). Results are identical with or without it;
+	// sharing one Cache between concurrent jobs deduplicates their work.
+	Cache *Cache
 }
 
 func (c Config) filled() Config {
@@ -109,10 +113,12 @@ func SizeRegion(modes []*lutnet.Circuit, cfg Config) (*Region, error) {
 	side := arch.MinGridForBlocks(maxBlocks, maxIO, cfg.RelaxArea)
 
 	// Find the minimum channel width by bisection: W is routable when every
-	// mode places and routes on the region.
+	// mode places and routes on the region. Placements do not depend on the
+	// channel width, so with a Cache every probe after the first reuses the
+	// same per-mode placements and only the routing is redone.
 	routable := func(w int) bool {
-		a := arch.New(side, side, w)
-		g := arch.BuildGraph(a)
+		g := buildGraph(cfg, side, w)
+		a := g.Arch
 		for mi, c := range modes {
 			pl, cc, err := placeCircuit(c, a, cfg, int64(mi))
 			if err != nil {
@@ -148,7 +154,7 @@ func SizeRegion(modes []*lutnet.Circuit, cfg Config) (*Region, error) {
 	}
 	minW := hi
 	w := int(float64(minW)*cfg.RelaxW + 0.999)
-	region := BuildRegion(side, w)
+	region := cfg.NewRegion(side, w)
 	region.MinW = minW
 	return region, nil
 }
@@ -161,7 +167,29 @@ func BuildRegion(side, w int) *Region {
 	return &Region{Arch: a, Graph: arch.BuildGraph(a), MinW: w}
 }
 
+// buildGraph builds (or, with a Cache, fetches) the RRG for a side×side
+// region of channel width w.
+func buildGraph(cfg Config, side, w int) *arch.Graph {
+	if cfg.Cache != nil {
+		return cfg.Cache.graph(side, w)
+	}
+	return arch.BuildGraph(arch.New(side, side, w))
+}
+
+// NewRegion is BuildRegion routed through the configuration's Cache: the
+// region wrapper is always fresh (its MinW field is per-call state), but
+// with a Cache the graph inside is built once per geometry and shared.
+// Use it wherever a Config is in hand — in particular in widen-and-retry
+// loops, so retries probing the same geometry reuse the graph.
+func (c Config) NewRegion(side, w int) *Region {
+	g := buildGraph(c, side, w)
+	return &Region{Arch: g.Arch, Graph: g, MinW: w}
+}
+
 func placeCircuit(c *lutnet.Circuit, a arch.Arch, cfg Config, seedOffset int64) (*place.Placement, place.CircuitCells, error) {
+	if cfg.Cache != nil {
+		return cfg.Cache.placement(c, a.Width, a.Height, cfg.Seed+seedOffset, cfg.PlaceEffort)
+	}
 	prob, cc := place.FromCircuit(c)
 	pl, err := place.Place(prob, a, place.Options{Seed: cfg.Seed + seedOffset, Effort: cfg.PlaceEffort})
 	if err != nil {

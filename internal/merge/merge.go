@@ -206,13 +206,12 @@ func (st *state) totalCost() float64 {
 	return t
 }
 
-// affectedPositions lists the source positions whose tunable net changes
-// when cell (m, c) moves: its own position (as driver site), and the
-// positions of all drivers feeding it.
-func (st *state) affected(m int, c int32, into map[int32]bool) {
-	into[st.posOf[m][c]] = true
+// affected feeds add the positions whose cost a move of cell c in mode m
+// can change: the cell's own position and its drivers' positions.
+func (st *state) affected(m int, c int32, add func(int32)) {
+	add(st.posOf[m][c])
 	for _, d := range st.modes[m].driversFor[c] {
-		into[st.posOf[m][d]] = true
+		add(st.posOf[m][d])
 	}
 }
 
@@ -299,38 +298,52 @@ func anneal(st *state, a arch.Arch, opt Options, rng *rand.Rand) {
 	}
 	span := a.Width + a.Height
 	scratch := map[int32]bool{}
-	affected := map[int32]bool{}
+	// Affected-position scratch, reused across moves. The list is built in
+	// deterministic insertion order: summing the cost delta in map
+	// iteration order would make annealing outcomes vary run to run,
+	// because float addition is not associative.
+	seen := map[int32]bool{}
+	var affected []int32
+	var oldCost []float64
 
 	// evalSwap computes the cost delta of swapping (m, posA, posB),
-	// leaving the swap applied; the returned undo map restores posCost.
-	evalSwap := func(m int, posA, posB int32) (float64, map[int32]float64) {
-		for k := range affected {
-			delete(affected, k)
+	// leaving the swap applied; the returned slices (valid until the next
+	// evalSwap) let undo restore posCost.
+	evalSwap := func(m int, posA, posB int32) (float64, []int32, []float64) {
+		for k := range seen {
+			delete(seen, k)
+		}
+		affected = affected[:0]
+		add := func(p int32) {
+			if !seen[p] {
+				seen[p] = true
+				affected = append(affected, p)
+			}
 		}
 		ca, cb := st.cellAt[m][posA], st.cellAt[m][posB]
 		if ca >= 0 {
-			st.affected(m, ca, affected)
+			st.affected(m, ca, add)
 		}
 		if cb >= 0 {
-			st.affected(m, cb, affected)
+			st.affected(m, cb, add)
 		}
-		affected[posA] = true
-		affected[posB] = true
+		add(posA)
+		add(posB)
 		st.doSwap(m, posA, posB)
 		delta := 0.0
-		old := map[int32]float64{}
-		for p := range affected {
-			old[p] = st.posCost[p]
+		oldCost = oldCost[:0]
+		for _, p := range affected {
+			oldCost = append(oldCost, st.posCost[p])
 			nc := st.costAt(p, scratch)
 			delta += nc - st.posCost[p]
 			st.posCost[p] = nc
 		}
-		return delta, old
+		return delta, affected, oldCost
 	}
-	undo := func(m int, posA, posB int32, old map[int32]float64) {
+	undo := func(m int, posA, posB int32, positions []int32, old []float64) {
 		st.doSwap(m, posA, posB)
-		for p, c := range old {
-			st.posCost[p] = c
+		for i, p := range positions {
+			st.posCost[p] = old[i]
 		}
 	}
 
@@ -368,7 +381,7 @@ func anneal(st *state, a arch.Arch, opt Options, rng *rand.Rand) {
 		if !ok {
 			continue
 		}
-		d, _ := evalSwap(m, posA, posB)
+		d, _, _ := evalSwap(m, posA, posB)
 		deltas = append(deltas, d)
 	}
 	sigma := stddev(deltas)
@@ -392,11 +405,11 @@ func anneal(st *state, a arch.Arch, opt Options, rng *rand.Rand) {
 			if !ok {
 				continue
 			}
-			d, old := evalSwap(m, posA, posB)
+			d, positions, old := evalSwap(m, posA, posB)
 			if d <= 0 || rng.Float64() < math.Exp(-d/sch.T) {
 				sch.Record(true)
 			} else {
-				undo(m, posA, posB, old)
+				undo(m, posA, posB, positions, old)
 				sch.Record(false)
 			}
 		}

@@ -143,6 +143,15 @@ type state struct {
 	cellAt   []int // position -> cell (-1 empty)
 	netsOf   [][]int
 	netCost  []float64
+	// Swap-evaluation scratch, reused across moves: netSeen dedups the
+	// affected-net list, netsBuf holds it, oldCost (parallel to netsBuf)
+	// the pre-move costs undoSwap restores. A deterministic (insertion-
+	// ordered) list matters beyond speed — summing the cost delta in map
+	// iteration order would make annealing outcomes vary run to run,
+	// because float addition is not associative.
+	netSeen []bool
+	netsBuf []int
+	oldCost []float64
 }
 
 func newState(p *Problem, clbSites, ioSites []arch.Site, rng *rand.Rand, init []arch.Site) (*state, error) {
@@ -154,6 +163,7 @@ func newState(p *Problem, clbSites, ioSites []arch.Site, rng *rand.Rand, init []
 		cellAt:   make([]int, len(clbSites)+len(ioSites)),
 		netsOf:   make([][]int, len(p.Cells)),
 		netCost:  make([]float64, len(p.Nets)),
+		netSeen:  make([]bool, len(p.Nets)),
 	}
 	for i := range st.cellAt {
 		st.cellAt[i] = -1
@@ -240,20 +250,29 @@ func (st *state) totalCost() float64 {
 	return t
 }
 
-// trySwap swaps the contents of two positions (either may be empty) and
-// returns the cost delta along with an undo closure.
+// swapDelta swaps the contents of two positions (either may be empty),
+// updates netCost for the affected nets, and returns the cost delta along
+// with the affected-net list (valid until the next swapDelta call). The
+// move is left applied: an accepted move needs nothing further, a rejected
+// one is reverted with undoSwap. The affected list is built in
+// deterministic insertion order and allocation-free via the state's
+// scratch buffers.
 func (st *state) swapDelta(posA, posB int) (float64, []int) {
 	ca, cb := st.cellAt[posA], st.cellAt[posB]
-	affected := map[int]bool{}
-	if ca >= 0 {
-		for _, ni := range st.netsOf[ca] {
-			affected[ni] = true
+	nets := st.netsBuf[:0]
+	add := func(c int) {
+		for _, ni := range st.netsOf[c] {
+			if !st.netSeen[ni] {
+				st.netSeen[ni] = true
+				nets = append(nets, ni)
+			}
 		}
 	}
+	if ca >= 0 {
+		add(ca)
+	}
 	if cb >= 0 {
-		for _, ni := range st.netsOf[cb] {
-			affected[ni] = true
-		}
+		add(cb)
 	}
 	// Apply move.
 	st.cellAt[posA], st.cellAt[posB] = cb, ca
@@ -264,21 +283,21 @@ func (st *state) swapDelta(posA, posB int) (float64, []int) {
 		st.posOf[cb] = posA
 	}
 	delta := 0.0
-	nets := make([]int, 0, len(affected))
-	for ni := range affected {
-		nets = append(nets, ni)
-		delta += st.costOf(ni) - st.netCost[ni]
+	st.oldCost = st.oldCost[:0]
+	for _, ni := range nets {
+		st.netSeen[ni] = false
+		nc := st.costOf(ni)
+		st.oldCost = append(st.oldCost, st.netCost[ni])
+		delta += nc - st.netCost[ni]
+		st.netCost[ni] = nc
 	}
+	st.netsBuf = nets
 	return delta, nets
 }
 
-func (st *state) commit(nets []int) {
-	for _, ni := range nets {
-		st.netCost[ni] = st.costOf(ni)
-	}
-}
-
-func (st *state) undoSwap(posA, posB int) {
+// undoSwap reverts the last swapDelta: the swap itself and the netCost
+// entries of its affected nets (nets must be swapDelta's return value).
+func (st *state) undoSwap(posA, posB int, nets []int) {
 	ca, cb := st.cellAt[posA], st.cellAt[posB]
 	st.cellAt[posA], st.cellAt[posB] = cb, ca
 	if ca >= 0 {
@@ -286,6 +305,9 @@ func (st *state) undoSwap(posA, posB int) {
 	}
 	if cb >= 0 {
 		st.posOf[cb] = posA
+	}
+	for i, ni := range nets {
+		st.netCost[ni] = st.oldCost[i]
 	}
 }
 
@@ -367,9 +389,9 @@ func anneal(st *state, a arch.Arch, opt Options, rng *rand.Rand) {
 		if !ok {
 			continue
 		}
-		d, _ := st.swapDelta(posA, posB)
+		d, nets := st.swapDelta(posA, posB)
 		deltas = append(deltas, d)
-		st.undoSwap(posA, posB)
+		st.undoSwap(posA, posB, nets)
 	}
 	sigma := stddev(deltas)
 	sch := NewSchedule(sigma, span, nCells, opt.Effort)
@@ -393,10 +415,9 @@ func anneal(st *state, a arch.Arch, opt Options, rng *rand.Rand) {
 			}
 			d, nets := st.swapDelta(posA, posB)
 			if d <= 0 || rng.Float64() < math.Exp(-d/sch.T) {
-				st.commit(nets)
 				sch.Record(true)
 			} else {
-				st.undoSwap(posA, posB)
+				st.undoSwap(posA, posB, nets)
 				sch.Record(false)
 			}
 		}

@@ -3,10 +3,16 @@
 // with present-congestion and history costs, A*-accelerated Dijkstra per
 // sink, and per-net routing trees recording the programmable switches used
 // (the routing configuration bits).
+//
+// The inner search is allocation-free in steady state: the priority queue
+// is a value-based binary heap and all per-net working state (visited
+// costs, backtrace pointers, tree membership, subtree mode masks) lives in
+// scratch buffers owned by the router and reused across nets and
+// iterations. The routing-resource graph itself is never written, so one
+// graph can be shared by any number of concurrently running routers.
 package route
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -39,6 +45,11 @@ type Edge struct {
 // Tree is the routing of one net: the set of nodes and directed edges used.
 // NodeMasks (parallel to Nodes) records the mode mask each node serves —
 // the union of the masks of the sinks reached through it.
+//
+// Edges are stored in discovery order, which is topological: the edge into
+// a node always precedes every edge out of it. Consumers (troute's
+// per-mode pruning) rely on this to compute subtree properties in one
+// reverse sweep.
 type Tree struct {
 	Nodes     []int32
 	Edges     []Edge
@@ -98,39 +109,22 @@ func (e *ErrUnroutable) Error() string {
 	return fmt.Sprintf("route: %d overused nodes after %d iterations%s", e.Overused, e.Iters, e.Detail)
 }
 
+// pqItem is one priority-queue entry. Items are values, not pointers: the
+// heap is a plain slice that is reset (not freed) between searches, so a
+// search allocates nothing once the slice has grown to its working size.
 type pqItem struct {
-	node  int32
-	cost  float64 // path cost so far
-	est   float64 // cost + A* lower bound
-	index int
+	node int32
+	cost float64 // path cost so far
+	est  float64 // cost + A* lower bound
 }
 
-type pq []*pqItem
-
-func (q pq) Len() int { return len(q) }
-func (q pq) Less(i, j int) bool {
-	if q[i].est != q[j].est {
-		return q[i].est < q[j].est
+// less orders the heap by estimated total cost, breaking ties by node id so
+// the search (and therefore the whole routing) is deterministic.
+func (a pqItem) less(b pqItem) bool {
+	if a.est != b.est {
+		return a.est < b.est
 	}
-	return q[i].node < q[j].node
-}
-func (q pq) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *pq) Push(x any) {
-	it := x.(*pqItem)
-	it.index = len(*q)
-	*q = append(*q, it)
-}
-func (q *pq) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
+	return a.node < b.node
 }
 
 // router carries the PathFinder state. Occupancy is per mode: a node is
@@ -147,6 +141,18 @@ type router struct {
 	presFac float64
 	curMask uint64 // mask of the branch being routed
 	allMask uint64
+
+	// Reusable scratch, sized to the graph once per Route call. visited and
+	// nodeMask are kept clean between uses via touched lists so resetting
+	// costs O(touched), not O(nodes).
+	heap      []pqItem
+	prev      []int32   // backtrace pointer per node
+	visited   []float64 // best path cost per node (MaxFloat64 = unvisited)
+	touched   []int32   // nodes whose visited entry must be reset
+	path      []int32   // backtraced tree→sink path of the last search
+	inTree    []bool    // membership of the net currently being routed
+	nodeMask  []uint64  // subtree mode-mask accumulator per node
+	sinkOrder []int     // per-net sink visiting order
 }
 
 func baseCost(t arch.NodeType) float64 {
@@ -236,7 +242,50 @@ func (r *router) lowerBound(n, target int32) float64 {
 	return (dx + dy) * r.opt.AStarFac
 }
 
-// Route routes all nets, returning per-net trees.
+// heapPush inserts a value item, sifting up.
+func (r *router) heapPush(it pqItem) {
+	q := append(r.heap, it)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q[i].less(q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	r.heap = q
+}
+
+// heapPop removes and returns the minimum item, sifting down.
+func (r *router) heapPop() pqItem {
+	q := r.heap
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < n && q[l].less(q[small]) {
+			small = l
+		}
+		if rt := 2*i + 2; rt < n && q[rt].less(q[small]) {
+			small = rt
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	r.heap = q
+	return top
+}
+
+// Route routes all nets, returning per-net trees. The graph is read-only
+// throughout; all mutable state is private to this call, so concurrent
+// Route calls may share g.
 func Route(g *arch.Graph, nets []Net, opt Options) (*Result, error) {
 	opt.fill()
 	r := &router{
@@ -283,11 +332,14 @@ func Route(g *arch.Graph, nets []Net, opt Options) (*Result, error) {
 
 	trees := make([]Tree, len(nets))
 	r.presFac = opt.FirstPresFac
-	prev := make([]int32, g.NumNodes())
-	visited := make([]float64, g.NumNodes())
-	for i := range visited {
-		visited[i] = math.MaxFloat64
+	r.heap = make([]pqItem, 0, 256)
+	r.prev = make([]int32, g.NumNodes())
+	r.visited = make([]float64, g.NumNodes())
+	for i := range r.visited {
+		r.visited[i] = math.MaxFloat64
 	}
+	r.inTree = make([]bool, g.NumNodes())
+	r.nodeMask = make([]uint64, g.NumNodes())
 
 	for iter := 1; iter <= opt.MaxIters; iter++ {
 		for _, ni := range order {
@@ -295,7 +347,7 @@ func Route(g *arch.Graph, nets []Net, opt Options) (*Result, error) {
 			for i, n := range trees[ni].Nodes {
 				r.adjustOcc(n, trees[ni].NodeMasks[i], -1)
 			}
-			tree, err := r.routeNet(&nets[ni], prev, visited)
+			tree, err := r.routeNet(&nets[ni])
 			if err != nil {
 				return nil, fmt.Errorf("route: net %q: %w", nets[ni].Name, err)
 			}
@@ -353,7 +405,7 @@ func Route(g *arch.Graph, nets []Net, opt Options) (*Result, error) {
 // routeNet routes one net: sinks are connected one at a time, each found by
 // an A* search seeded with the entire current routing tree. After routing,
 // every tree node is annotated with the union mask of the sinks it serves.
-func (r *router) routeNet(n *Net, prev []int32, visited []float64) (Tree, error) {
+func (r *router) routeNet(n *Net) (Tree, error) {
 	netMask := r.maskOf(n)
 	sinkMask := func(i int) uint64 {
 		if n.SinkMasks == nil {
@@ -367,13 +419,20 @@ func (r *router) routeNet(n *Net, prev []int32, visited []float64) (Tree, error)
 	}
 
 	tree := Tree{Nodes: []int32{n.Source}}
-	inTree := map[int32]bool{n.Source: true}
+	r.inTree[n.Source] = true
+	defer func() {
+		for _, node := range tree.Nodes {
+			r.inTree[node] = false
+			r.nodeMask[node] = 0
+		}
+	}()
 
 	// Deterministic sink order: nearest to the source first.
-	idx := make([]int, len(n.Sinks))
-	for i := range idx {
-		idx[i] = i
+	idx := r.sinkOrder[:0]
+	for i := range n.Sinks {
+		idx = append(idx, i)
 	}
+	r.sinkOrder = idx
 	src := r.g.Nodes[n.Source]
 	sort.SliceStable(idx, func(i, j int) bool {
 		a, b := r.g.Nodes[n.Sinks[idx[i]]], r.g.Nodes[n.Sinks[idx[j]]]
@@ -385,51 +444,43 @@ func (r *router) routeNet(n *Net, prev []int32, visited []float64) (Tree, error)
 		return n.Sinks[idx[i]] < n.Sinks[idx[j]]
 	})
 
-	sinkMaskByNode := map[int32]uint64{}
+	// r.nodeMask doubles as the per-sink mask accumulator: seeded with each
+	// sink's own mask here, completed into subtree masks below.
 	for _, si := range idx {
 		sink := n.Sinks[si]
 		r.curMask = sinkMask(si)
-		sinkMaskByNode[sink] |= sinkMask(si)
-		if inTree[sink] {
+		r.nodeMask[sink] |= sinkMask(si)
+		if r.inTree[sink] {
 			// Multiple logical sinks can share one SINK node (e.g. two
 			// input pins of the same block): account occupancy once per
 			// use by adding the node again.
 			tree.Nodes = append(tree.Nodes, sink)
 			continue
 		}
-		path, err := r.search(tree.Nodes, sink, prev, visited)
+		path, err := r.search(tree.Nodes, sink)
 		if err != nil {
 			return Tree{}, err
 		}
 		// path runs tree→sink; path[0] is already in the tree.
 		for i := 1; i < len(path); i++ {
 			tree.Edges = append(tree.Edges, Edge{From: path[i-1], To: path[i]})
-			if !inTree[path[i]] {
-				inTree[path[i]] = true
+			if !r.inTree[path[i]] {
+				r.inTree[path[i]] = true
 				tree.Nodes = append(tree.Nodes, path[i])
 			}
 		}
 	}
 
-	// Annotate nodes with the union of downstream sink masks.
-	children := map[int32][]int32{}
-	for _, e := range tree.Edges {
-		children[e.From] = append(children[e.From], e.To)
+	// Annotate nodes with the union of downstream sink masks. Edges are in
+	// discovery order, so the edge into a node precedes every edge out of
+	// it; one reverse sweep therefore folds each subtree into its root.
+	for i := len(tree.Edges) - 1; i >= 0; i-- {
+		e := tree.Edges[i]
+		r.nodeMask[e.From] |= r.nodeMask[e.To]
 	}
-	nodeMask := map[int32]uint64{}
-	var visit func(node int32) uint64
-	visit = func(node int32) uint64 {
-		m := sinkMaskByNode[node]
-		for _, c := range children[node] {
-			m |= visit(c)
-		}
-		nodeMask[node] = m
-		return m
-	}
-	visit(n.Source)
 	tree.NodeMasks = make([]uint64, len(tree.Nodes))
 	for i, node := range tree.Nodes {
-		m := nodeMask[node]
+		m := r.nodeMask[node]
 		if m == 0 {
 			m = netMask // isolated source with no sinks
 		}
@@ -439,48 +490,51 @@ func (r *router) routeNet(n *Net, prev []int32, visited []float64) (Tree, error)
 	return tree, nil
 }
 
-// search finds the cheapest path from any tree node to the sink.
-func (r *router) search(treeNodes []int32, sink int32, prev []int32, visited []float64) ([]int32, error) {
+// search finds the cheapest path from any tree node to the sink. The
+// returned slice is scratch owned by the router, valid until the next
+// search call.
+func (r *router) search(treeNodes []int32, sink int32) ([]int32, error) {
 	const unvisited = math.MaxFloat64
-	var touched []int32
-	q := make(pq, 0, 256)
+	r.heap = r.heap[:0]
+	r.touched = r.touched[:0]
 	push := func(node int32, cost float64, from int32) {
-		if visited[node] <= cost {
+		if r.visited[node] <= cost {
 			return
 		}
-		if visited[node] == unvisited {
-			touched = append(touched, node)
+		if r.visited[node] == unvisited {
+			r.touched = append(r.touched, node)
 		}
-		visited[node] = cost
-		prev[node] = from
-		heap.Push(&q, &pqItem{node: node, cost: cost, est: cost + r.lowerBound(node, sink)})
+		r.visited[node] = cost
+		r.prev[node] = from
+		r.heapPush(pqItem{node: node, cost: cost, est: cost + r.lowerBound(node, sink)})
 	}
 	defer func() {
-		for _, n := range touched {
-			visited[n] = unvisited
+		for _, n := range r.touched {
+			r.visited[n] = unvisited
 		}
 	}()
 	for _, n := range treeNodes {
 		push(n, 0, -1)
 	}
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(*pqItem)
-		if it.cost > visited[it.node] {
+	for len(r.heap) > 0 {
+		it := r.heapPop()
+		if it.cost > r.visited[it.node] {
 			continue
 		}
 		if it.node == sink {
-			// Backtrace.
-			var rev []int32
-			for n := sink; n != -1; n = prev[n] {
-				rev = append(rev, n)
-				if prev[n] == -1 {
+			// Backtrace into the reusable path buffer, then reverse it in
+			// place so it runs tree→sink.
+			path := r.path[:0]
+			for n := sink; n != -1; n = r.prev[n] {
+				path = append(path, n)
+				if r.prev[n] == -1 {
 					break
 				}
 			}
-			path := make([]int32, len(rev))
-			for i, n := range rev {
-				path[len(rev)-1-i] = n
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
 			}
+			r.path = path
 			return path, nil
 		}
 		for _, to := range r.g.Edges(it.node) {

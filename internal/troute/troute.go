@@ -164,8 +164,12 @@ func RouteTunable(g *arch.Graph, tc *tunable.Circuit, lutSite, padSite []arch.Si
 	all := mode.All(tc.NumModes)
 
 	res.PinActs = make([]map[int32]mode.Set, len(rr.Trees))
+	// nodeAct is shared scratch for the per-tree subtree analysis, sized to
+	// the graph once and wiped via each tree's node list (O(tree), not
+	// O(graph), per net).
+	nodeAct := make([]mode.Set, g.NumNodes())
 	for ni, tree := range rr.Trees {
-		acts := analyzeTree(g, nets[ni], tree, sinkActs[ni])
+		acts := analyzeTree(tree, sinkActs[ni], nodeAct)
 		res.PinActs[ni] = map[int32]mode.Set{}
 		for i, e := range tree.Edges {
 			act := acts[i]
@@ -206,26 +210,23 @@ func RouteTunable(g *arch.Graph, tc *tunable.Circuit, lutSite, padSite []arch.Si
 
 // analyzeTree returns, for every tree edge, the set of modes that need it:
 // the union of activations of the sinks in the subtree below the edge.
-func analyzeTree(g *arch.Graph, n route.Net, tree route.Tree, sinkAct map[int32]mode.Set) []mode.Set {
-	children := map[int32][]int{} // node -> indices of outgoing tree edges
-	for i, e := range tree.Edges {
-		children[e.From] = append(children[e.From], i)
+// It exploits the topological edge order guaranteed by route.Tree (the edge
+// into a node precedes every edge out of it): one reverse sweep folds each
+// subtree's activation into its root, with nodeAct as caller-provided
+// scratch that is left zeroed again on return.
+func analyzeTree(tree route.Tree, sinkAct map[int32]mode.Set, nodeAct []mode.Set) []mode.Set {
+	for node, a := range sinkAct {
+		nodeAct[node] = a
 	}
 	acts := make([]mode.Set, len(tree.Edges))
-	var visit func(node int32) mode.Set
-	visit = func(node int32) mode.Set {
-		var s mode.Set
-		if a, ok := sinkAct[node]; ok {
-			s = s.Union(a)
-		}
-		for _, ei := range children[node] {
-			sub := visit(tree.Edges[ei].To)
-			acts[ei] = sub
-			s = s.Union(sub)
-		}
-		return s
+	for i := len(tree.Edges) - 1; i >= 0; i-- {
+		e := tree.Edges[i]
+		acts[i] = nodeAct[e.To]
+		nodeAct[e.From] = nodeAct[e.From].Union(nodeAct[e.To])
 	}
-	visit(n.Source)
+	for _, node := range tree.Nodes {
+		nodeAct[node] = 0
+	}
 	return acts
 }
 

@@ -53,8 +53,9 @@ func miniModes(b *testing.B) []*lutnet.Circuit {
 	return mapped
 }
 
-// sweepSuites builds a small one-suite workload with six pairs over four
-// mode circuits — enough independent jobs to exercise the worker pool.
+// sweepSuites builds a small one-suite workload over four mode circuits:
+// all six 2-mode groups plus one 3-mode group — enough independent jobs to
+// exercise the worker pool and the N-mode path of the sweep.
 func sweepSuites(b *testing.B) []*experiments.Suite {
 	b.Helper()
 	var nls []*netlist.Netlist
@@ -72,7 +73,7 @@ func sweepSuites(b *testing.B) []*experiments.Suite {
 	return []*experiments.Suite{{
 		Name:     "RegExp",
 		Circuits: mapped,
-		Pairs:    [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}},
+		Groups:   [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {0, 1, 2}},
 	}}
 }
 
@@ -126,7 +127,7 @@ func BenchmarkSweep(b *testing.B) {
 func BenchmarkTable1SuiteGeneration(b *testing.B) {
 	var rows []experiments.SizeRow
 	for i := 0; i < b.N; i++ {
-		suites, err := experiments.BuildSuites(experiments.Scale{PairsPerSuite: 1, Effort: 0.1, Seed: 1})
+		suites, err := experiments.BuildSuites(experiments.Scale{GroupsPerSuite: 1, Effort: 0.1, Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}

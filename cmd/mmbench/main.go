@@ -1,16 +1,18 @@
 // Command mmbench reproduces the evaluation section of the paper: Table I,
 // Fig. 5 (reconfiguration speed-up), Fig. 6 (LUT/routing breakdown),
 // Fig. 7 (wirelength vs MDR), the §IV-C area observations, and the merge
-// ablations.
+// ablations — and, beyond the paper, the multi-mode group sweep (`-exp
+// multi`): suites whose groups hold 3–4 modes, reported with the N×N
+// switch-cost matrix (bits rewritten per specific mode transition).
 //
-// The pair sweep — the dominant cost — runs on a worker pool (-j N,
-// default GOMAXPROCS); the jobs are independent, the workers share one
-// immutable routing-resource graph cache, and the report is byte-identical
-// at any worker count. Progress is reported on stderr.
+// The benchmark × group sweep — the dominant cost — runs on a worker pool
+// (-j N, default GOMAXPROCS); the jobs are independent, the workers share
+// one immutable routing-resource graph cache, and the report is
+// byte-identical at any worker count. Progress is reported on stderr.
 //
 // Usage:
 //
-//	mmbench -exp all|table1|fig5|fig6|fig7|area|ablation [-j 8] [-pairs 4] [-effort 0.4] [-seed 1] [-full]
+//	mmbench -exp all|table1|fig5|fig6|fig7|area|ablation|frames|multi [-j 8] [-groups 4] [-effort 0.4] [-seed 1] [-full]
 package main
 
 import (
@@ -26,16 +28,17 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table1, fig5, fig6, fig7, area, ablation, frames")
-	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the pair sweep")
-	pairs := flag.Int("pairs", 4, "multi-mode pairs per suite (paper: 10)")
+	exp := flag.String("exp", "all", "experiment: all, table1, fig5, fig6, fig7, area, ablation, frames, multi")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the group sweep")
+	groups := flag.Int("groups", 4, "multi-mode groups per suite (paper: 10)")
+	flag.IntVar(groups, "pairs", 4, "deprecated alias for -groups")
 	effort := flag.Float64("effort", 0.4, "annealing effort")
 	seed := flag.Int64("seed", 1, "random seed")
-	full := flag.Bool("full", false, "paper-scale run (all 30 pairs, effort 0.5)")
-	verbose := flag.Bool("v", false, "print per-pair details")
+	full := flag.Bool("full", false, "paper-scale run (all 30 groups, effort 0.5)")
+	verbose := flag.Bool("v", false, "print per-group details")
 	flag.Parse()
 
-	sc := experiments.Scale{PairsPerSuite: *pairs, Effort: *effort, Seed: *seed}
+	sc := experiments.Scale{GroupsPerSuite: *groups, Effort: *effort, Seed: *seed}
 	if *full {
 		sc = experiments.FullScale()
 	}
@@ -44,12 +47,19 @@ func main() {
 	sc.Cache = flow.NewCache()
 
 	start := time.Now()
+
+	if *exp == "multi" {
+		runMulti(sc, *jobs)
+		fmt.Printf("\n# total runtime %v\n", time.Since(start).Round(time.Second))
+		return
+	}
+
 	suites, err := experiments.BuildSuites(sc)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("# benchmark suites generated in %v (scale: %d pairs/suite, effort %.2f)\n\n",
-		time.Since(start).Round(time.Millisecond), sc.PairsPerSuite, sc.Effort)
+	fmt.Printf("# benchmark suites generated in %v (scale: %d groups/suite, effort %.2f)\n\n",
+		time.Since(start).Round(time.Millisecond), sc.GroupsPerSuite, sc.Effort)
 
 	if *exp == "table1" || *exp == "all" {
 		experiments.PrintTableI(os.Stdout, experiments.TableI(suites))
@@ -59,29 +69,10 @@ func main() {
 		}
 	}
 
-	needPairs := map[string]bool{"all": true, "fig5": true, "fig6": true, "fig7": true}
-	var results []*experiments.PairResult
-	if needPairs[*exp] {
-		total := 0
-		for _, s := range suites {
-			total += len(s.Pairs)
-		}
-		sweepStart := time.Now()
-		var started atomic.Int32
-		results, err = experiments.RunAll(suites, sc, *jobs, func(msg string) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] running %s...\n", started.Add(1), total, msg)
-		})
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "# sweep: %d pairs on %d workers in %v\n",
-			total, *jobs, time.Since(sweepStart).Round(time.Millisecond))
-		if *verbose {
-			for _, r := range results {
-				experiments.PrintPair(os.Stdout, r)
-			}
-			fmt.Println()
-		}
+	needSweep := map[string]bool{"all": true, "fig5": true, "fig6": true, "fig7": true}
+	var results []*experiments.GroupResult
+	if needSweep[*exp] {
+		results = sweep(suites, sc, *jobs, *verbose)
 	}
 
 	switch *exp {
@@ -111,6 +102,53 @@ func main() {
 	fmt.Printf("\n# total runtime %v\n", time.Since(start).Round(time.Second))
 }
 
+// sweep runs the benchmark × group sweep with stderr progress and returns
+// the results in enumeration order.
+func sweep(suites []*experiments.Suite, sc experiments.Scale, jobs int, verbose bool) []*experiments.GroupResult {
+	total := 0
+	for _, s := range suites {
+		total += len(s.Groups)
+	}
+	sweepStart := time.Now()
+	var started atomic.Int32
+	results, err := experiments.RunAll(suites, sc, jobs, func(msg string) {
+		fmt.Fprintf(os.Stderr, "[%d/%d] running %s...\n", started.Add(1), total, msg)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "# sweep: %d groups on %d workers in %v\n",
+		total, jobs, time.Since(sweepStart).Round(time.Millisecond))
+	if verbose {
+		for _, r := range results {
+			experiments.PrintGroup(os.Stdout, r)
+		}
+		fmt.Println()
+	}
+	return results
+}
+
+// runMulti evaluates the ≥3-mode group suites and reports the per-switch
+// cost matrices alongside the familiar figure summaries. The group report
+// always includes the per-group detail lines, so the sweep's own verbose
+// printing stays off.
+func runMulti(sc experiments.Scale, jobs int) {
+	buildStart := time.Now()
+	suites, err := experiments.BuildMultiSuites(sc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# multi-mode suites generated in %v (effort %.2f)\n\n",
+		time.Since(buildStart).Round(time.Millisecond), sc.Effort)
+	experiments.PrintTableI(os.Stdout, experiments.TableI(suites))
+	fmt.Println()
+
+	results := sweep(suites, sc, jobs, false)
+	experiments.WriteGroupReport(os.Stdout, results)
+	fmt.Println()
+	experiments.PrintFig5(os.Stdout, experiments.Fig5(results))
+}
+
 func printArea(suites []*experiments.Suite, sc experiments.Scale) {
 	rows := experiments.AreaSavings(suites)
 	c, g, ratio, err := experiments.FIRGenericRatio(sc)
@@ -132,7 +170,7 @@ func printAblation(suites []*experiments.Suite, sc experiments.Scale) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("Relaxation ablation (RegExp pair 0): relax=1.2 speedup %.2fx wire %.0f%%; relax=1.0 speedup %.2fx wire %.0f%%\n",
+	fmt.Printf("Relaxation ablation (RegExp group 0): relax=1.2 speedup %.2fx wire %.0f%%; relax=1.0 speedup %.2fx wire %.0f%%\n",
 		r.RelaxedSpeedup, 100*r.RelaxedWire, r.TightSpeedup, 100*r.TightWire)
 }
 

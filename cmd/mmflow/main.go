@@ -2,14 +2,20 @@
 // it synthesises and maps every mode, sizes a shared reconfigurable
 // region, implements the modes with MDR and with the paper's DCS flow
 // (combined placement + TPlace + TRoute), and reports reconfiguration-bit
-// and wirelength comparisons.
+// and wirelength comparisons plus the N×N switch-cost matrix.
+//
+// With two or more BLIF files it is the N-mode smoke-test tool: any mode
+// that fails to place or route makes the command exit non-zero, and -json
+// emits the full result (or the failure) as machine-readable JSON on
+// stdout.
 //
 // Usage:
 //
-//	mmflow [-k 4] [-effort 0.5] [-seed 1] [-objective wire|edge] mode1.blif mode2.blif [...]
+//	mmflow [-k 4] [-effort 0.5] [-seed 1] [-objective wire|edge] [-json] mode1.blif mode2.blif [...]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,11 +26,69 @@ import (
 	"repro/internal/netlist"
 )
 
+// output is the -json document. Error is set (and every other field
+// possibly partial) when the flow fails; the process then exits non-zero.
+type output struct {
+	Error string     `json:"error,omitempty"`
+	Modes []modeInfo `json:"modes,omitempty"`
+
+	Region *regionInfo `json:"region,omitempty"`
+	MDR    *mdrInfo    `json:"mdr,omitempty"`
+	DCS    *dcsInfo    `json:"dcs,omitempty"`
+
+	SpeedupVsMDR float64 `json:"speedup_vs_mdr,omitempty"`
+	WireVsMDR    float64 `json:"wire_vs_mdr,omitempty"`
+
+	// Switch-cost matrices: bits rewritten per mode transition
+	// (row = from, column = to).
+	SwitchCost *switchInfo `json:"switch_cost,omitempty"`
+}
+
+type modeInfo struct {
+	Name string `json:"name"`
+	LUTs int    `json:"luts"`
+	FFs  int    `json:"ffs"`
+	PIs  int    `json:"pis"`
+	POs  int    `json:"pos"`
+}
+
+type regionInfo struct {
+	Side        int `json:"side"`
+	ChannelW    int `json:"channel_width"`
+	MinW        int `json:"min_channel_width"`
+	RoutingBits int `json:"routing_bits"`
+	LUTBits     int `json:"lut_bits"`
+}
+
+type mdrInfo struct {
+	ReconfigBits int     `json:"reconfig_bits"`
+	AvgWire      float64 `json:"avg_wire"`
+}
+
+type dcsInfo struct {
+	Objective        string  `json:"objective"`
+	TLUTs            int     `json:"tluts"`
+	Conns            int     `json:"tunable_connections"`
+	SharedConns      int     `json:"shared_connections"`
+	ReconfigBits     int     `json:"reconfig_bits"`
+	ParamRoutingBits int     `json:"param_routing_bits"`
+	AvgWire          float64 `json:"avg_wire"`
+}
+
+type switchInfo struct {
+	MDRFull  flow.SwitchMatrix `json:"mdr_full"`
+	MDRDiff  flow.SwitchMatrix `json:"mdr_diff,omitempty"`
+	DCS      flow.SwitchMatrix `json:"dcs"`
+	DCSAvg   float64           `json:"dcs_avg"`
+	DCSWorst int               `json:"dcs_worst"`
+}
+
 func main() {
 	k := flag.Int("k", 4, "LUT inputs")
 	effort := flag.Float64("effort", 0.5, "annealing effort (1.0 = VPR-like)")
 	seed := flag.Int64("seed", 1, "random seed")
 	objective := flag.String("objective", "wire", "combined-placement objective: wire or edge")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout")
 	verbose := flag.Bool("v", false, "print per-connection activation functions")
 	flag.Parse()
 
@@ -38,16 +102,27 @@ func main() {
 		obj = merge.EdgeMatch
 	}
 
+	var out output
+	fail := func(err error) {
+		if *jsonOut {
+			out.Error = err.Error()
+			emit(&out)
+		} else {
+			fmt.Fprintln(os.Stderr, "mmflow:", err)
+		}
+		os.Exit(1)
+	}
+
 	var nls []*netlist.Netlist
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
 		n, err := netlist.ReadBLIF(f)
 		f.Close()
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", path, err))
+			fail(fmt.Errorf("%s: %w", path, err))
 		}
 		nls = append(nls, n)
 	}
@@ -55,35 +130,87 @@ func main() {
 	cfg := flow.Config{K: *k, PlaceEffort: *effort, Seed: *seed}
 	mapped, err := flow.MapModes(nls, cfg)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	for i, c := range mapped {
-		fmt.Printf("mode %d (%s): %d LUTs, %d FFs, %d PIs, %d POs\n",
-			i, c.Name, c.NumBlocks(), c.NumFFs(), c.NumPIs(), len(c.POs))
+		out.Modes = append(out.Modes, modeInfo{
+			Name: c.Name, LUTs: c.NumBlocks(), FFs: c.NumFFs(), PIs: c.NumPIs(), POs: len(c.POs),
+		})
+		if !*jsonOut {
+			fmt.Printf("mode %d (%s): %d LUTs, %d FFs, %d PIs, %d POs\n",
+				i, c.Name, c.NumBlocks(), c.NumFFs(), c.NumPIs(), len(c.POs))
+		}
 	}
 
+	// A mode that cannot be placed and routed anywhere makes RunComparison
+	// fail; that is the smoke-test condition this command reports with a
+	// non-zero exit.
 	cmp, err := flow.RunComparison("multimode", mapped, cfg)
 	if err != nil {
-		fatal(err)
+		fail(fmt.Errorf("mode set does not route: %w", err))
 	}
 	region, mdr := cmp.Region, cmp.MDR
-	fmt.Printf("region: %dx%d CLBs, channel width %d (min %d), %d routing bits, %d LUT bits\n",
-		region.Arch.Width, region.Arch.Height, region.Arch.W, region.MinW,
-		region.Graph.NumRoutingBits, region.Arch.TotalLUTBits())
-	fmt.Printf("MDR: reconfig %d bits (whole region), avg mode wirelength %.0f segments\n",
-		mdr.ReconfigBits, mdr.AvgWire)
-
 	dcs := cmp.WireLen
 	if obj == merge.EdgeMatch {
 		dcs = cmp.EdgeMatch
 	}
 	st := dcs.Merge.Tunable.Stats()
+	n := len(mapped)
+
+	out.Region = &regionInfo{
+		Side: region.Arch.Width, ChannelW: region.Arch.W, MinW: region.MinW,
+		RoutingBits: region.Graph.NumRoutingBits, LUTBits: region.Arch.TotalLUTBits(),
+	}
+	out.MDR = &mdrInfo{ReconfigBits: mdr.ReconfigBits, AvgWire: mdr.AvgWire}
+	out.DCS = &dcsInfo{
+		Objective: fmt.Sprint(obj), TLUTs: st.NumTLUTs, Conns: st.NumConns, SharedConns: st.SharedConns,
+		ReconfigBits: dcs.ReconfigBits, ParamRoutingBits: dcs.TRoute.ParamRoutingBits, AvgWire: dcs.AvgWire,
+	}
+	out.SpeedupVsMDR = flow.Speedup(mdr, dcs)
+	out.WireVsMDR = flow.WireRatio(mdr, dcs)
+
+	sw := &switchInfo{
+		MDRFull: flow.MDRSwitchMatrix(region, n),
+		DCS:     flow.DCSSwitchMatrix(region.Arch, dcs.TRoute, n),
+	}
+	if diff, err := flow.MDRDiffSwitchMatrix(region, mapped, mdr); err == nil {
+		sw.MDRDiff = diff
+	} else {
+		// stderr in both modes: the JSON document lives on stdout, and a
+		// silently missing mdr_diff would be indistinguishable from a
+		// schema change for the consumer.
+		fmt.Fprintf(os.Stderr, "mmflow: diff switch matrix unavailable: %v\n", err)
+	}
+	sw.DCSAvg = sw.DCS.Avg()
+	_, _, sw.DCSWorst = sw.DCS.Worst()
+	out.SwitchCost = sw
+
+	if *jsonOut {
+		emit(&out)
+		return
+	}
+
+	fmt.Printf("region: %dx%d CLBs, channel width %d (min %d), %d routing bits, %d LUT bits\n",
+		region.Arch.Width, region.Arch.Height, region.Arch.W, region.MinW,
+		region.Graph.NumRoutingBits, region.Arch.TotalLUTBits())
+	fmt.Printf("MDR: reconfig %d bits (whole region), avg mode wirelength %.0f segments\n",
+		mdr.ReconfigBits, mdr.AvgWire)
 	fmt.Printf("DCS (%s): %d TLUTs, %d tunable connections (%d shared across all modes)\n",
 		obj, st.NumTLUTs, st.NumConns, st.SharedConns)
 	fmt.Printf("DCS: reconfig %d bits (%d LUT + %d parameterised routing), avg mode wirelength %.0f\n",
 		dcs.ReconfigBits, region.Arch.TotalLUTBits(), dcs.TRoute.ParamRoutingBits, dcs.AvgWire)
 	fmt.Printf("speed-up vs MDR: %.2fx   wirelength vs MDR: %.0f%%\n",
 		flow.Speedup(mdr, dcs), 100*flow.WireRatio(mdr, dcs))
+	printMatrix := func(label string, m flow.SwitchMatrix) {
+		if m == nil {
+			return
+		}
+		from, to, worst := m.Worst()
+		fmt.Printf("%s switch cost: avg %.1f bits, worst %d (%d->%d)\n", label, m.Avg(), worst, from, to)
+		m.FprintRows(os.Stdout, "  ")
+	}
+	printMatrix("MDR diff", sw.MDRDiff)
+	printMatrix("DCS", sw.DCS)
 
 	if *verbose {
 		fmt.Println("tunable connections:")
@@ -95,7 +222,11 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mmflow:", err)
-	os.Exit(1)
+func emit(out *output) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "mmflow:", err)
+		os.Exit(1)
+	}
 }

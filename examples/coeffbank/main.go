@@ -1,0 +1,78 @@
+// Coefficient banks: an N-mode group beyond the paper's two-mode
+// experiments. An adaptive FIR filter keeps four coefficient banks — two
+// low-pass cutoffs and two high-pass cutoffs — and switches between them
+// at run time. All four banks are merged into one Tunable circuit on a
+// shared region, and the walkthrough prints what the pair sweep cannot
+// express: the 4×4 switch-cost matrix, i.e. how many configuration bits
+// each *specific* bank-to-bank transition rewrites, under MDR full
+// rewrite, MDR diff, and the paper's DCS accounting.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/flow"
+	"repro/internal/gen/firgen"
+	"repro/internal/netlist"
+)
+
+func main() {
+	// The same bank set the FIRBank suite of `mmbench -exp multi` runs.
+	banks := experiments.FIRBankSpecs()
+	var nls []*netlist.Netlist
+	for i, spec := range banks {
+		coeffs := firgen.Design(spec)
+		fmt.Printf("bank %d (%s, cutoff %.2f): coefficients %v\n", i, spec.Kind, spec.Cutoff, coeffs)
+		n, err := firgen.Generate(fmt.Sprintf("bank%d", i), spec, coeffs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nls = append(nls, n)
+	}
+
+	cfg := flow.Config{PlaceEffort: 0.3, Seed: 17}
+	mapped, err := flow.MapModes(nls, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("\nmapped LUTs per bank:")
+	for _, c := range mapped {
+		fmt.Printf(" %d", c.NumBlocks())
+	}
+	fmt.Println()
+
+	cmp, err := flow.RunComparison("coeffbank", mapped, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	region := cmp.Region
+	n := len(mapped)
+	fmt.Printf("shared region: %dx%d CLBs, channel width %d — one region serves all %d banks\n\n",
+		region.Arch.Width, region.Arch.Height, region.Arch.W, n)
+
+	printMatrix := func(label string, m flow.SwitchMatrix) {
+		from, to, worst := m.Worst()
+		fmt.Printf("%s: avg %.1f bits/switch, worst %d (bank %d -> bank %d)\n",
+			label, m.Avg(), worst, from, to)
+		m.FprintRows(os.Stdout, "    ")
+	}
+
+	printMatrix("MDR full rewrite", flow.MDRSwitchMatrix(region, n))
+	if diff, err := flow.MDRDiffSwitchMatrix(region, mapped, cmp.MDR); err == nil {
+		printMatrix("MDR diff (assembled bitstreams)", diff)
+	} else {
+		fmt.Fprintf(os.Stderr, "coeffbank: diff switch matrix unavailable: %v\n", err)
+	}
+	dcs := flow.DCSSwitchMatrix(region.Arch, cmp.WireLen.TRoute, n)
+	printMatrix("DCS (LUT + differing parameterised bits)", dcs)
+
+	fmt.Printf("\nreconfig speed-up vs MDR (average over switches): %.2fx\n",
+		flow.MDRSwitchMatrix(region, n).Avg()/dcs.Avg())
+	fmt.Println("the single-number pair metrics collapse all of this to one average;")
+	fmt.Println("the matrix shows the spread between the cheapest and the most")
+	fmt.Println("expensive transition, so a reconfiguration scheduler can prefer the")
+	fmt.Println("cheap bank switches and batch the expensive ones.")
+}

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/gen/firgen"
-	"repro/internal/lutnet"
 	"repro/internal/merge"
 	"repro/internal/netlist"
 )
@@ -24,25 +23,28 @@ type AreaRow struct {
 }
 
 // AreaSavings computes the multi-mode vs static area ratio per suite,
-// averaged over the selected pairs.
+// averaged over the selected groups: a group's shared region is sized by
+// its biggest mode, the static alternative sums every mode.
 func AreaSavings(suites []*Suite) []AreaRow {
 	var rows []AreaRow
 	for _, s := range suites {
 		var mm, static float64
-		for _, p := range s.Pairs {
-			a := s.Circuits[p[0]].NumBlocks()
-			b := s.Circuits[p[1]].NumBlocks()
-			max := a
-			if b > max {
-				max = b
+		for _, grp := range s.Groups {
+			max, sum := 0, 0
+			for _, idx := range grp {
+				b := s.Circuits[idx].NumBlocks()
+				if b > max {
+					max = b
+				}
+				sum += b
 			}
 			mm += float64(max)
-			static += float64(a + b)
+			static += float64(sum)
 		}
 		rows = append(rows, AreaRow{
 			Suite:         s.Name,
-			MultiModeCLBs: mm / float64(len(s.Pairs)),
-			StaticCLBs:    static / float64(len(s.Pairs)),
+			MultiModeCLBs: mm / float64(len(s.Groups)),
+			StaticCLBs:    static / float64(len(s.Groups)),
 			Ratio:         mm / static,
 		})
 	}
@@ -95,14 +97,13 @@ type AblationResult struct {
 }
 
 // RunAblation evaluates the identity merge (no combined placement), edge
-// matching and wire-length optimisation on the first pair of a suite.
+// matching and wire-length optimisation on the first group of a suite.
 func RunAblation(s *Suite, sc Scale) (*AblationResult, error) {
-	if len(s.Pairs) == 0 {
-		return nil, fmt.Errorf("experiments: suite %s has no pairs", s.Name)
+	if len(s.Groups) == 0 {
+		return nil, fmt.Errorf("experiments: suite %s has no groups", s.Name)
 	}
 	cfg := s.config(sc)
-	p := s.Pairs[0]
-	modes := []*lutnet.Circuit{s.Circuits[p[0]], s.Circuits[p[1]]}
+	modes := groupModes(s, s.Groups[0])
 	name := fmt.Sprintf("%s-abl", s.Name)
 
 	region, err := flow.SizeRegion(modes, cfg)
@@ -162,15 +163,14 @@ type RelaxAblation struct {
 
 // RunRelaxAblation compares relax=1.2 (paper) against relax=1.0.
 func RunRelaxAblation(s *Suite, sc Scale) (*RelaxAblation, error) {
-	if len(s.Pairs) == 0 {
-		return nil, fmt.Errorf("experiments: suite %s has no pairs", s.Name)
+	if len(s.Groups) == 0 {
+		return nil, fmt.Errorf("experiments: suite %s has no groups", s.Name)
 	}
 	run := func(relax float64) (float64, float64, error) {
 		cfg := s.config(sc)
 		cfg.RelaxArea = relax
 		cfg.RelaxW = relax
-		p := s.Pairs[0]
-		modes := []*lutnet.Circuit{s.Circuits[p[0]], s.Circuits[p[1]]}
+		modes := groupModes(s, s.Groups[0])
 		cmp, err := flow.RunComparison("relax", modes, cfg)
 		if err != nil {
 			return 0, 0, err

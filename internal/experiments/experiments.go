@@ -5,7 +5,13 @@
 // workloads are the three suites of §IV-A: regular-expression engines,
 // constant-coefficient FIR filters, and general (MCNC-style) circuits.
 //
-// The benchmark × pair sweep is executed by Runner, a worker pool that
+// The evaluation is organised around mode *groups*: a group is any set of
+// N ≥ 2 mode-circuit indices implemented together on one shared region.
+// The paper's experiments are the 2-mode special case; BuildMultiSuites
+// adds groups of 3–4 modes, for which every result carries the N×N
+// switch-cost matrix (bits rewritten per specific mode transition).
+//
+// The benchmark × group sweep is executed by Runner, a worker pool that
 // fans the independent jobs across GOMAXPROCS (or any requested number of)
 // workers with deterministic result ordering, sharing routing-resource
 // graphs and per-benchmark placements between jobs through a flow.Cache.
@@ -14,7 +20,9 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
+	"strings"
 
 	"repro/internal/flow"
 	"repro/internal/gen/firgen"
@@ -27,9 +35,12 @@ import (
 // Scale controls experiment size so the harness can run anywhere from a
 // smoke test to the full paper configuration.
 type Scale struct {
-	// PairsPerSuite caps the number of multi-mode circuits per suite
-	// (paper: 10). 0 means all.
-	PairsPerSuite int
+	// GroupsPerSuite caps the number of multi-mode groups per suite
+	// (paper: 10). 0 means all. When the cap bites, a seeded
+	// deterministic spread of the enumerated groups is selected, not a
+	// prefix — a prefix would keep only the lowest-index combinations
+	// and bias every statistic towards the first few benchmarks.
+	GroupsPerSuite int
 	// Effort is the annealing effort (paper-equivalent ≈ 1.0).
 	Effort float64
 	Seed   int64
@@ -43,25 +54,27 @@ type Scale struct {
 
 // DefaultScale is a laptop-friendly configuration that preserves the
 // paper's qualitative results.
-func DefaultScale() Scale { return Scale{PairsPerSuite: 4, Effort: 0.25, Seed: 1} }
+func DefaultScale() Scale { return Scale{GroupsPerSuite: 4, Effort: 0.25, Seed: 1} }
 
 // FullScale reproduces the paper's complete sweep (30 multi-mode pairs).
-func FullScale() Scale { return Scale{PairsPerSuite: 10, Effort: 0.5, Seed: 1} }
+func FullScale() Scale { return Scale{GroupsPerSuite: 10, Effort: 0.5, Seed: 1} }
 
 // Suite is one benchmark family with its multi-mode combinations.
 type Suite struct {
 	Name     string
 	Circuits []*lutnet.Circuit
-	// Pairs lists mode-circuit index combinations forming multi-mode
-	// circuits.
-	Pairs [][2]int
+	// Groups lists mode-circuit index sets forming multi-mode circuits.
+	// Every group has at least two members; the paper's pair sweep is
+	// the all-2-mode-groups case.
+	Groups [][]int
 }
 
 func (s *Suite) config(sc Scale) flow.Config {
 	return flow.Config{PlaceEffort: sc.Effort, Seed: sc.Seed, Cache: sc.Cache}
 }
 
-// BuildSuites generates the three benchmark suites of §IV-A.
+// BuildSuites generates the three benchmark suites of §IV-A with the
+// paper's 2-mode groups.
 func BuildSuites(sc Scale) ([]*Suite, error) {
 	cfg := flow.Config{PlaceEffort: sc.Effort, Seed: sc.Seed}
 
@@ -78,9 +91,9 @@ func BuildSuites(sc Scale) ([]*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
-	regexSuite := &Suite{Name: "RegExp", Circuits: regexCircuits, Pairs: allPairs(len(regexCircuits))}
+	regexSuite := &Suite{Name: "RegExp", Circuits: regexCircuits, Groups: allGroups(len(regexCircuits), 2)}
 
-	// FIR: 10 low-pass + 10 high-pass; pair i combines LP_i with HP_i.
+	// FIR: 10 low-pass + 10 high-pass; group i combines LP_i with HP_i.
 	var firNLs []*netlist.Netlist
 	for i := 0; i < 10; i++ {
 		lp := firgen.DefaultSpec(firgen.LowPass, int64(i))
@@ -104,7 +117,7 @@ func BuildSuites(sc Scale) ([]*Suite, error) {
 	}
 	firSuite := &Suite{Name: "FIR", Circuits: firCircuits}
 	for i := 0; i < 10; i++ {
-		firSuite.Pairs = append(firSuite.Pairs, [2]int{i, 10 + i})
+		firSuite.Groups = append(firSuite.Groups, []int{i, 10 + i})
 	}
 
 	// MCNC-like: 5 synthetic circuits, all combinations.
@@ -120,23 +133,135 @@ func BuildSuites(sc Scale) ([]*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
-	mcncSuite := &Suite{Name: "MCNC", Circuits: mcncCircuits, Pairs: allPairs(len(mcncCircuits))}
+	mcncSuite := &Suite{Name: "MCNC", Circuits: mcncCircuits, Groups: allGroups(len(mcncCircuits), 2)}
 
 	suites := []*Suite{regexSuite, firSuite, mcncSuite}
 	for _, s := range suites {
-		if sc.PairsPerSuite > 0 && len(s.Pairs) > sc.PairsPerSuite {
-			s.Pairs = s.Pairs[:sc.PairsPerSuite]
-		}
+		s.Groups = selectSpread(s.Groups, sc.GroupsPerSuite, sc.Seed)
 	}
 	return suites, nil
 }
 
-func allPairs(n int) [][2]int {
-	var out [][2]int
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			out = append(out, [2]int{i, j})
+// FIRBankSpecs is the coefficient-bank set of the FIRBank multi-mode
+// suite: four 4-tap banks of an adaptive filter (two low-pass cutoffs,
+// two high-pass). Exported so the examples/coeffbank walkthrough
+// illustrates exactly the suite that `mmbench -exp multi` evaluates.
+func FIRBankSpecs() []firgen.Spec {
+	return []firgen.Spec{
+		{Kind: firgen.LowPass, Taps: 4, NonZero: 4, Cutoff: 0.18, CoeffBits: 4, InputBits: 4, Seed: 1},
+		{Kind: firgen.LowPass, Taps: 4, NonZero: 4, Cutoff: 0.32, CoeffBits: 4, InputBits: 4, Seed: 2},
+		{Kind: firgen.HighPass, Taps: 4, NonZero: 4, Cutoff: 0.24, CoeffBits: 4, InputBits: 4, Seed: 3},
+		{Kind: firgen.HighPass, Taps: 4, NonZero: 4, Cutoff: 0.38, CoeffBits: 4, InputBits: 4, Seed: 4},
+	}
+}
+
+// BuildMultiSuites generates suites whose groups have three or more
+// modes — the scenario axis the pair sweep cannot express. The circuits
+// are kept compact (a fraction of the paper's benchmark sizes) so the
+// N-mode combined placement stays tractable:
+//
+//   - FIRBank: the FIRBankSpecs coefficient banks as one 4-mode group.
+//   - RegExpSet: compact protocol signatures evaluated as 3-engine sets.
+//   - Xceiver: a transceiver-style group of three mutually exclusive
+//     protocol front-ends (web, ftp, dns).
+//
+// Every group result of these suites carries N×N switch-cost matrices.
+func BuildMultiSuites(sc Scale) ([]*Suite, error) {
+	cfg := flow.Config{PlaceEffort: sc.Effort, Seed: sc.Seed}
+
+	// FIRBank: one 4-mode group of 4-tap coefficient banks.
+	var firNLs []*netlist.Netlist
+	for i, spec := range FIRBankSpecs() {
+		n, err := firgen.Generate(fmt.Sprintf("bank%d", i), spec, firgen.Design(spec))
+		if err != nil {
+			return nil, err
 		}
+		firNLs = append(firNLs, n)
+	}
+	firCircuits, err := flow.MapModes(firNLs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	firSuite := &Suite{Name: "FIRBank", Circuits: firCircuits, Groups: [][]int{{0, 1, 2, 3}}}
+
+	// RegExpSet: four compact engines, all 3-mode subsets.
+	patterns := []string{`GET /(a|b)x+`, `POST /(c|d)y+`, `PUT /(e|f)z+`, `HEAD /(g|h)w+`}
+	var reNLs []*netlist.Netlist
+	for i, p := range patterns {
+		n, err := regexgen.Generate(fmt.Sprintf("re%d", i), p, regexgen.Options{})
+		if err != nil {
+			return nil, err
+		}
+		reNLs = append(reNLs, n)
+	}
+	reCircuits, err := flow.MapModes(reNLs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	reSuite := &Suite{Name: "RegExpSet", Circuits: reCircuits, Groups: allGroups(len(reCircuits), 3)}
+
+	// Xceiver: three mutually exclusive protocol front-ends.
+	protos := []struct{ name, pattern string }{
+		{"web", `GET /(admin|login)\?\w{4,}`},
+		{"ftp", `(USER|PASS) \w{8,}`},
+		{"dns", `\x00\x01(a|b|c)\w{6,}`},
+	}
+	var xNLs []*netlist.Netlist
+	for _, p := range protos {
+		n, err := regexgen.Generate(p.name, p.pattern, regexgen.Options{})
+		if err != nil {
+			return nil, err
+		}
+		xNLs = append(xNLs, n)
+	}
+	xCircuits, err := flow.MapModes(xNLs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	xSuite := &Suite{Name: "Xceiver", Circuits: xCircuits, Groups: [][]int{{0, 1, 2}}}
+
+	suites := []*Suite{firSuite, reSuite, xSuite}
+	for _, s := range suites {
+		s.Groups = selectSpread(s.Groups, sc.GroupsPerSuite, sc.Seed)
+	}
+	return suites, nil
+}
+
+// allGroups enumerates every k-subset of {0..n-1} in lexicographic order.
+func allGroups(n, k int) [][]int {
+	var out [][]int
+	group := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			out = append(out, append([]int(nil), group...))
+			return
+		}
+		for i := start; i < n; i++ {
+			group[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	if k >= 1 && k <= n {
+		rec(0, 0)
+	}
+	return out
+}
+
+// selectSpread caps the group list at max entries by drawing a seeded
+// deterministic sample spread over the whole enumeration, then restores
+// enumeration order so reports stay order-stable. A cap of 0 (or a list
+// already within the cap) returns the list unchanged.
+func selectSpread(groups [][]int, max int, seed int64) [][]int {
+	if max <= 0 || len(groups) <= max {
+		return groups
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(groups))[:max]
+	sort.Ints(idx)
+	out := make([][]int, 0, max)
+	for _, i := range idx {
+		out = append(out, groups[i])
 	}
 	return out
 }
@@ -167,10 +292,10 @@ func TableI(suites []*Suite) []SizeRow {
 	return rows
 }
 
-// PairResult holds every metric of one multi-mode circuit's evaluation.
-type PairResult struct {
+// GroupResult holds every metric of one multi-mode group's evaluation.
+type GroupResult struct {
 	Suite, Name string
-	ModeLUTs    [2]int
+	ModeLUTs    []int
 	Side, MinW  int
 	ChannelW    int
 
@@ -192,14 +317,50 @@ type PairResult struct {
 	WireMDR float64
 	WireEM  float64 // relative to MDR (1.0 = equal)
 	WireWL  float64
+
+	// Per-switch cost matrices: bits rewritten when switching from mode i
+	// to mode j, under the three accountings the paper compares. For a
+	// 2-mode group these collapse to the single-number metrics above; for
+	// N ≥ 3 they expose the cost of each specific transition.
+	MDRSwitch  flow.SwitchMatrix // full-region rewrite
+	DiffSwitch flow.SwitchMatrix // actually differing bitstream bits
+	DCSSwitch  flow.SwitchMatrix // LUT bits + differing parameterised bits (WL objective)
 }
 
-// RunPair evaluates one multi-mode circuit under MDR, DCS-EdgeMatch and
-// DCS-WireLength on a shared region.
-func RunPair(suite *Suite, pair [2]int, sc Scale) (*PairResult, error) {
+// NumModes returns the group's mode count.
+func (r *GroupResult) NumModes() int { return len(r.ModeLUTs) }
+
+// groupName renders a group's canonical name: the suite name followed by
+// the member indices ("RegExp-0-1"; identical to the historical pair
+// naming for 2-mode groups).
+func groupName(suite string, group []int) string {
+	var sb strings.Builder
+	sb.WriteString(suite)
+	for _, m := range group {
+		fmt.Fprintf(&sb, "-%d", m)
+	}
+	return sb.String()
+}
+
+// groupModes resolves a group's circuit list.
+func groupModes(s *Suite, group []int) []*lutnet.Circuit {
+	modes := make([]*lutnet.Circuit, len(group))
+	for i, idx := range group {
+		modes[i] = s.Circuits[idx]
+	}
+	return modes
+}
+
+// RunGroup evaluates one multi-mode group under MDR, DCS-EdgeMatch and
+// DCS-WireLength on a shared region, including the N×N switch-cost
+// matrices.
+func RunGroup(suite *Suite, group []int, sc Scale) (*GroupResult, error) {
+	if len(group) < 2 {
+		return nil, fmt.Errorf("experiments: group %v has fewer than two modes", group)
+	}
 	cfg := suite.config(sc)
-	modes := []*lutnet.Circuit{suite.Circuits[pair[0]], suite.Circuits[pair[1]]}
-	name := fmt.Sprintf("%s-%d-%d", suite.Name, pair[0], pair[1])
+	modes := groupModes(suite, group)
+	name := groupName(suite.Name, group)
 
 	cmp, err := flow.RunComparison(name, modes, cfg)
 	if err != nil {
@@ -207,10 +368,21 @@ func RunPair(suite *Suite, pair [2]int, sc Scale) (*PairResult, error) {
 	}
 	region, mdr, em, wl := cmp.Region, cmp.MDR, cmp.EdgeMatch, cmp.WireLen
 
-	res := &PairResult{
+	luts := make([]int, len(modes))
+	for i, m := range modes {
+		luts[i] = m.NumBlocks()
+	}
+	// The Diff matrix assembles real bitstreams — negligible next to the
+	// routing above, but the only part of the job the pre-group pair sweep
+	// never exercised. If assembly fails the matrix stays nil rather than
+	// sinking the whole sweep: the figures don't consume it, and the group
+	// report renders the gap explicitly as "unavailable".
+	diffSwitch, _ := flow.MDRDiffSwitchMatrix(region, modes, mdr)
+
+	res := &GroupResult{
 		Suite:    suite.Name,
 		Name:     name,
-		ModeLUTs: [2]int{modes[0].NumBlocks(), modes[1].NumBlocks()},
+		ModeLUTs: luts,
 		Side:     region.Arch.Width,
 		MinW:     region.MinW,
 		ChannelW: region.Arch.W,
@@ -232,13 +404,17 @@ func RunPair(suite *Suite, pair [2]int, sc Scale) (*PairResult, error) {
 		WireMDR: mdr.AvgWire,
 		WireEM:  flow.WireRatio(mdr, em),
 		WireWL:  flow.WireRatio(mdr, wl),
+
+		MDRSwitch:  flow.MDRSwitchMatrix(region, len(modes)),
+		DiffSwitch: diffSwitch,
+		DCSSwitch:  flow.DCSSwitchMatrix(region.Arch, wl.TRoute, len(modes)),
 	}
 	return res, nil
 }
 
-// RunSuite evaluates every selected pair of a suite, serially (one
+// RunSuite evaluates every selected group of a suite, serially (one
 // worker). It is the single-suite form of Runner.Run.
-func RunSuite(s *Suite, sc Scale, progress func(string)) ([]*PairResult, error) {
+func RunSuite(s *Suite, sc Scale, progress func(string)) ([]*GroupResult, error) {
 	return (&Runner{Workers: 1, Progress: progress}).Run([]*Suite{s}, sc)
 }
 
@@ -268,8 +444,8 @@ type Fig5Row struct {
 }
 
 // Fig5 summarises the reconfiguration speed-up per suite.
-func Fig5(results []*PairResult) []Fig5Row {
-	return groupBy(results, func(rs []*PairResult) Fig5Row {
+func Fig5(results []*GroupResult) []Fig5Row {
+	return groupBy(results, func(rs []*GroupResult) Fig5Row {
 		var em, wl []float64
 		for _, r := range rs {
 			em = append(em, r.SpeedupEM)
@@ -290,7 +466,7 @@ type Fig6Bar struct {
 
 // Fig6 computes the LUT/routing breakdown for the RegExp suite (the
 // paper's Fig. 6), with bars MDR, Diff and DCS (wire-length optimised).
-func Fig6(results []*PairResult, suite string) []Fig6Bar {
+func Fig6(results []*GroupResult, suite string) []Fig6Bar {
 	var lut, mdrR, diffR, dcsR []float64
 	for _, r := range results {
 		if r.Suite != suite {
@@ -325,8 +501,8 @@ type Fig7Row struct {
 }
 
 // Fig7 summarises the per-mode wirelength ratios.
-func Fig7(results []*PairResult) []Fig7Row {
-	return groupBy(results, func(rs []*PairResult) Fig7Row {
+func Fig7(results []*GroupResult) []Fig7Row {
+	return groupBy(results, func(rs []*GroupResult) Fig7Row {
 		var em, wl []float64
 		for _, r := range rs {
 			em = append(em, r.WireEM)
@@ -336,9 +512,9 @@ func Fig7(results []*PairResult) []Fig7Row {
 	})
 }
 
-func groupBy[T any](results []*PairResult, f func([]*PairResult) T) []T {
+func groupBy[T any](results []*GroupResult, f func([]*GroupResult) T) []T {
 	order := []string{}
-	groups := map[string][]*PairResult{}
+	groups := map[string][]*GroupResult{}
 	for _, r := range results {
 		if _, ok := groups[r.Suite]; !ok {
 			order = append(order, r.Suite)

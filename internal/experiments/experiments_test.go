@@ -1,12 +1,16 @@
 package experiments
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/flow"
 )
 
 func TestBuildSuitesShapes(t *testing.T) {
-	sc := Scale{PairsPerSuite: 2, Effort: 0.1, Seed: 1}
+	sc := Scale{GroupsPerSuite: 2, Effort: 0.1, Seed: 1}
 	suites, err := BuildSuites(sc)
 	if err != nil {
 		t.Fatal(err)
@@ -19,19 +23,84 @@ func TestBuildSuitesShapes(t *testing.T) {
 		if len(s.Circuits) != wantCircuits[s.Name] {
 			t.Errorf("%s: %d circuits, want %d", s.Name, len(s.Circuits), wantCircuits[s.Name])
 		}
-		if len(s.Pairs) != 2 {
-			t.Errorf("%s: %d pairs, want 2 (capped)", s.Name, len(s.Pairs))
+		if len(s.Groups) != 2 {
+			t.Errorf("%s: %d groups, want 2 (capped)", s.Name, len(s.Groups))
 		}
-		for _, p := range s.Pairs {
-			if p[0] < 0 || p[0] >= len(s.Circuits) || p[1] < 0 || p[1] >= len(s.Circuits) || p[0] == p[1] {
-				t.Errorf("%s: bad pair %v", s.Name, p)
+		for _, grp := range s.Groups {
+			if len(grp) != 2 {
+				t.Errorf("%s: paper suites must form 2-mode groups, got %v", s.Name, grp)
+			}
+			seen := map[int]bool{}
+			for _, idx := range grp {
+				if idx < 0 || idx >= len(s.Circuits) || seen[idx] {
+					t.Errorf("%s: bad group %v", s.Name, grp)
+				}
+				seen[idx] = true
 			}
 		}
 	}
 }
 
+func TestSelectSpreadDeterministicAndUnbiased(t *testing.T) {
+	groups := allGroups(6, 2) // 15 combinations
+	a := selectSpread(groups, 5, 42)
+	b := selectSpread(groups, 5, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("seeded spread is not deterministic")
+	}
+	if len(a) != 5 {
+		t.Fatalf("cap not applied: %d groups", len(a))
+	}
+	// Not the old prefix bias: at least one selected group must come from
+	// the back half of the enumeration.
+	prefix := true
+	for _, g := range a {
+		for i, full := range groups[len(groups)/2:] {
+			_ = i
+			if reflect.DeepEqual(g, full) {
+				prefix = false
+			}
+		}
+	}
+	if prefix {
+		t.Error("spread selected only the enumeration prefix")
+	}
+	// Selection order must remain the enumeration order.
+	last := -1
+	pos := map[string]int{}
+	for i, g := range groups {
+		pos[fmt.Sprint(g)] = i
+	}
+	for _, g := range a {
+		if p := pos[fmt.Sprint(g)]; p < last {
+			t.Fatal("spread broke enumeration order")
+		} else {
+			last = p
+		}
+	}
+	// No cap: unchanged.
+	if got := selectSpread(groups, 0, 1); !reflect.DeepEqual(got, groups) {
+		t.Error("cap 0 must keep all groups")
+	}
+}
+
+func TestAllGroups(t *testing.T) {
+	if got := len(allGroups(5, 2)); got != 10 {
+		t.Errorf("C(5,2) = %d, want 10", got)
+	}
+	if got := len(allGroups(4, 3)); got != 4 {
+		t.Errorf("C(4,3) = %d, want 4", got)
+	}
+	if got := allGroups(3, 3); len(got) != 1 || !reflect.DeepEqual(got[0], []int{0, 1, 2}) {
+		t.Errorf("C(3,3) = %v", got)
+	}
+	if got := len(allGroups(2, 3)); got != 0 {
+		t.Errorf("C(2,3) = %d, want 0", got)
+	}
+}
+
 func TestTableIMatchesPaperEnvelope(t *testing.T) {
-	suites, err := BuildSuites(Scale{PairsPerSuite: 1, Effort: 0.1, Seed: 1})
+	suites, err := BuildSuites(Scale{GroupsPerSuite: 1, Effort: 0.1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +127,7 @@ func TestTableIMatchesPaperEnvelope(t *testing.T) {
 }
 
 func TestAreaSavingsNearPaper(t *testing.T) {
-	suites, err := BuildSuites(Scale{PairsPerSuite: 4, Effort: 0.1, Seed: 1})
+	suites, err := BuildSuites(Scale{GroupsPerSuite: 4, Effort: 0.1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,23 +163,23 @@ func TestDistOf(t *testing.T) {
 	}
 }
 
-func TestRunPairFullMetrics(t *testing.T) {
+func TestRunGroupFullMetrics(t *testing.T) {
 	if testing.Short() {
-		t.Skip("short mode: full pair takes ~30s")
+		t.Skip("short mode: full group takes ~30s")
 	}
-	sc := Scale{PairsPerSuite: 1, Effort: 0.12, Seed: 1}
+	sc := Scale{GroupsPerSuite: 1, Effort: 0.12, Seed: 1}
 	suites, err := BuildSuites(sc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// FIR pairs are the smallest/quickest.
+	// FIR groups are the smallest/quickest.
 	var fir *Suite
 	for _, s := range suites {
 		if s.Name == "FIR" {
 			fir = s
 		}
 	}
-	r, err := RunPair(fir, fir.Pairs[0], sc)
+	r, err := RunGroup(fir, fir.Groups[0], sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,12 +195,41 @@ func TestRunPairFullMetrics(t *testing.T) {
 	if r.WireWL <= 0 || r.WireEM <= 0 {
 		t.Errorf("wire ratios: EM=%.2f WL=%.2f", r.WireEM, r.WireWL)
 	}
+	// Switch-cost matrices: right shape, symmetric, consistent with the
+	// single-number accounting of a 2-mode group.
+	n := r.NumModes()
+	for _, m := range []struct {
+		label string
+		mat   flow.SwitchMatrix
+	}{{"MDR", r.MDRSwitch}, {"Diff", r.DiffSwitch}, {"DCS", r.DCSSwitch}} {
+		if m.mat.N() != n {
+			t.Fatalf("%s switch matrix is %d×, want %d×", m.label, m.mat.N(), n)
+		}
+		if !m.mat.Symmetric() {
+			t.Errorf("%s switch matrix not symmetric", m.label)
+		}
+		for i := 0; i < n; i++ {
+			if m.mat[i][i] != 0 {
+				t.Errorf("%s switch matrix diagonal not zero", m.label)
+			}
+		}
+	}
+	if r.MDRSwitch[0][1] != r.MDRBits {
+		t.Errorf("MDR full-rewrite switch %d != reconfig bits %d", r.MDRSwitch[0][1], r.MDRBits)
+	}
+	if r.DCSSwitch[0][1] != r.WLBits {
+		t.Errorf("2-mode DCS switch %d != WL reconfig bits %d", r.DCSSwitch[0][1], r.WLBits)
+	}
+	if r.DiffSwitch[0][1] <= 0 || r.DiffSwitch[0][1] >= r.MDRBits {
+		t.Errorf("Diff switch cost %d outside (0, MDR %d)", r.DiffSwitch[0][1], r.MDRBits)
+	}
 	// Reports must render.
 	var sb strings.Builder
-	PrintPair(&sb, r)
-	PrintFig5(&sb, Fig5([]*PairResult{r}))
-	PrintFig6(&sb, Fig6([]*PairResult{r}, "FIR"))
-	PrintFig7(&sb, Fig7([]*PairResult{r}))
+	PrintGroup(&sb, r)
+	PrintSwitchMatrices(&sb, r)
+	PrintFig5(&sb, Fig5([]*GroupResult{r}))
+	PrintFig6(&sb, Fig6([]*GroupResult{r}, "FIR"))
+	PrintFig7(&sb, Fig7([]*GroupResult{r}))
 	if !strings.Contains(sb.String(), "FIR") {
 		t.Error("report rendering broken")
 	}

@@ -6,10 +6,9 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/frames"
-	"repro/internal/lutnet"
 )
 
-// FrameResult is the frame-granularity analysis of one multi-mode pair —
+// FrameResult is the frame-granularity analysis of one multi-mode group —
 // the paper's §IV-C1 outlook ("we expect the speed up of routing
 // reconfiguration time to be roughly between 4× and 20×").
 type FrameResult struct {
@@ -25,14 +24,13 @@ type FrameResult struct {
 	DiffSpeedup  float64 // frames: all vs differing-touched (MDR w/ frames)
 }
 
-// RunFrames evaluates the frame model on the first pair of a suite.
+// RunFrames evaluates the frame model on the first group of a suite.
 func RunFrames(s *Suite, sc Scale, frameSize int) (*FrameResult, error) {
-	if len(s.Pairs) == 0 {
-		return nil, fmt.Errorf("experiments: suite %s has no pairs", s.Name)
+	if len(s.Groups) == 0 {
+		return nil, fmt.Errorf("experiments: suite %s has no groups", s.Name)
 	}
 	cfg := s.config(sc)
-	p := s.Pairs[0]
-	modes := []*lutnet.Circuit{s.Circuits[p[0]], s.Circuits[p[1]]}
+	modes := groupModes(s, s.Groups[0])
 	cmp, err := flow.RunComparison(s.Name+"-frames", modes, cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/flow"
+)
+
+// TestBuildMultiSuitesShapes checks the ≥3-mode suite construction.
+func TestBuildMultiSuitesShapes(t *testing.T) {
+	suites, err := BuildMultiSuites(Scale{Effort: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suites) != 3 {
+		t.Fatalf("multi suites = %d, want 3", len(suites))
+	}
+	sawBig := false
+	for _, s := range suites {
+		if len(s.Groups) == 0 {
+			t.Errorf("%s: no groups", s.Name)
+		}
+		for _, grp := range s.Groups {
+			if len(grp) < 3 {
+				t.Errorf("%s: group %v has fewer than 3 modes", s.Name, grp)
+			}
+			if len(grp) >= 4 {
+				sawBig = true
+			}
+			for _, idx := range grp {
+				if idx < 0 || idx >= len(s.Circuits) {
+					t.Errorf("%s: group %v indexes outside circuits", s.Name, grp)
+				}
+			}
+		}
+	}
+	if !sawBig {
+		t.Error("no 4-mode group in the multi suites")
+	}
+}
+
+// TestRunGroupThreeModes runs one 3-mode group end to end and checks the
+// N×N switch-cost matrices: shape 3×3, zero diagonal, symmetry for the
+// diff-based accountings, and the DCS entries bounded by the full MDR
+// rewrite.
+func TestRunGroupThreeModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: 3-mode group takes ~1min")
+	}
+	sc := Scale{Effort: 0.15, Seed: 1, Cache: flow.NewCache()}
+	suites, err := BuildMultiSuites(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xc *Suite
+	for _, s := range suites {
+		if s.Name == "Xceiver" {
+			xc = s
+		}
+	}
+	if xc == nil {
+		t.Fatal("no Xceiver suite")
+	}
+	r, err := RunGroup(xc, xc.Groups[0], sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumModes() != 3 {
+		t.Fatalf("NumModes = %d, want 3", r.NumModes())
+	}
+	if r.Name != "Xceiver-0-1-2" {
+		t.Errorf("group name %q", r.Name)
+	}
+	for _, m := range []flow.SwitchMatrix{r.MDRSwitch, r.DiffSwitch, r.DCSSwitch} {
+		if m.N() != 3 {
+			t.Fatalf("matrix size %d, want 3", m.N())
+		}
+		if !m.Symmetric() {
+			t.Error("switch matrix not symmetric")
+		}
+		for i := 0; i < 3; i++ {
+			if m[i][i] != 0 {
+				t.Error("switch matrix diagonal not zero")
+			}
+			for j := 0; j < 3; j++ {
+				if i != j && (m[i][j] <= 0 || m[i][j] > r.MDRBits) {
+					t.Errorf("switch cost m[%d][%d] = %d outside (0, %d]", i, j, m[i][j], r.MDRBits)
+				}
+			}
+		}
+	}
+	// DCS per-switch cost never exceeds the 2^N upper bound of rewriting
+	// every parameterised bit.
+	lut := r.LUTBitsTotal
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j && r.DCSSwitch[i][j] > lut+r.WLRoutingBits {
+				t.Errorf("DCS switch %d exceeds LUT+param bound %d", r.DCSSwitch[i][j], lut+r.WLRoutingBits)
+			}
+		}
+	}
+	// The report must render the matrices.
+	var buf bytes.Buffer
+	WriteGroupReport(&buf, []*GroupResult{r})
+	out := buf.String()
+	if !strings.Contains(out, "Xceiver-0-1-2") || !strings.Contains(out, "DCS parameterised") {
+		t.Errorf("group report missing matrix section:\n%s", out)
+	}
+}

@@ -3,6 +3,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strings"
+
+	"repro/internal/flow"
 )
 
 // PrintTableI writes Table I in the paper's layout.
@@ -61,12 +64,12 @@ func PrintArea(w io.Writer, rows []AreaRow, firConst, firGeneric int, firRatio f
 		firConst, firGeneric, 100*firRatio)
 }
 
-// WriteFigures writes the three pair-sweep figures (Fig. 5, Fig. 6 for the
-// RegExp suite, Fig. 7) in the fixed report layout. Results are consumed
-// in slice order, so for a deterministically ordered result set — e.g. the
-// output of Runner.Run at any worker count — the rendered report is byte
-// identical.
-func WriteFigures(w io.Writer, results []*PairResult) {
+// WriteFigures writes the three group-sweep figures (Fig. 5, Fig. 6 for
+// the RegExp suite, Fig. 7) in the fixed report layout. Results are
+// consumed in slice order, so for a deterministically ordered result set —
+// e.g. the output of Runner.Run at any worker count — the rendered report
+// is byte identical.
+func WriteFigures(w io.Writer, results []*GroupResult) {
 	PrintFig5(w, Fig5(results))
 	fmt.Fprintln(w)
 	PrintFig6(w, Fig6(results, "RegExp"))
@@ -74,13 +77,55 @@ func WriteFigures(w io.Writer, results []*PairResult) {
 	PrintFig7(w, Fig7(results))
 }
 
-// PrintPair writes one pair's detailed metrics.
-func PrintPair(w io.Writer, r *PairResult) {
-	fmt.Fprintf(w, "%-18s modes %4d/%4d LUTs  grid %2dx%-2d W=%2d (min %2d)  "+
+// PrintGroup writes one group's detailed metrics. For 2-mode groups the
+// line is identical to the historical pair rendering.
+func PrintGroup(w io.Writer, r *GroupResult) {
+	luts := make([]string, len(r.ModeLUTs))
+	for i, n := range r.ModeLUTs {
+		luts[i] = fmt.Sprintf("%4d", n)
+	}
+	fmt.Fprintf(w, "%-18s modes %s LUTs  grid %2dx%-2d W=%2d (min %2d)  "+
 		"bits MDR=%d Diff=%d EM=%d WL=%d  speedup EM=%.2fx WL=%.2fx  wire EM=%.0f%% WL=%.0f%%\n",
-		r.Name, r.ModeLUTs[0], r.ModeLUTs[1], r.Side, r.Side, r.ChannelW, r.MinW,
+		r.Name, strings.Join(luts, "/"), r.Side, r.Side, r.ChannelW, r.MinW,
 		r.MDRBits, r.DiffBits, r.EMBits, r.WLBits,
 		r.SpeedupEM, r.SpeedupWL, 100*r.WireEM, 100*r.WireWL)
+}
+
+// printMatrix renders one switch-cost matrix with its average and
+// worst-case transition. A nil matrix (e.g. bitstream assembly failed for
+// the Diff accounting) is reported as such rather than omitted.
+func printMatrix(w io.Writer, label string, m flow.SwitchMatrix) {
+	if m == nil {
+		fmt.Fprintf(w, "  %-18s unavailable\n", label)
+		return
+	}
+	from, to, worst := m.Worst()
+	fmt.Fprintf(w, "  %-18s avg %10.1f   worst %8d (%d->%d)\n", label, m.Avg(), worst, from, to)
+	m.FprintRows(w, "      ")
+}
+
+// PrintSwitchMatrices writes a group's N×N switch-cost matrices (bits
+// rewritten per specific mode transition, row = from, column = to) under
+// the three accountings: MDR full rewrite, MDR diff (actually differing
+// bitstream bits) and DCS (LUT bits + differing parameterised bits).
+func PrintSwitchMatrices(w io.Writer, r *GroupResult) {
+	fmt.Fprintf(w, "%s: %d-mode switch-cost matrices (bits, row=from col=to)\n", r.Name, r.NumModes())
+	printMatrix(w, "MDR full rewrite", r.MDRSwitch)
+	printMatrix(w, "MDR diff", r.DiffSwitch)
+	printMatrix(w, "DCS parameterised", r.DCSSwitch)
+}
+
+// WriteGroupReport writes the multi-mode group report: one detail line and
+// the switch-cost matrices per group. Like WriteFigures it consumes the
+// results in slice order, so the rendering is deterministic at any worker
+// count.
+func WriteGroupReport(w io.Writer, results []*GroupResult) {
+	fmt.Fprintln(w, "Multi-mode groups: per-switch reconfiguration cost")
+	for _, r := range results {
+		fmt.Fprintln(w)
+		PrintGroup(w, r)
+		PrintSwitchMatrices(w, r)
+	}
 }
 
 // PrintAblation writes the merge-strategy ablation.

@@ -3,18 +3,19 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/flow"
 )
 
-// Runner executes a sweep of benchmark × pair jobs across a pool of
-// workers. Every job — one multi-mode circuit evaluated under MDR and both
+// Runner executes a sweep of benchmark × group jobs across a pool of
+// workers. Every job — one multi-mode group evaluated under MDR and both
 // DCS objectives — is independent of every other, so the sweep is
 // embarrassingly parallel; the Runner fans jobs over Workers goroutines
 // while keeping the result slice in the deterministic enumeration order
-// (suites in the given order, each suite's pairs in order). Because each
+// (suites in the given order, each suite's groups in order). Because each
 // job is itself a pure function of its inputs, the results are identical
 // at any worker count, byte for byte once rendered.
 //
@@ -30,25 +31,33 @@ type Runner struct {
 	Progress func(msg string)
 }
 
-// sweepJob is one pair evaluation with its slot in the result order.
+// sweepJob is one group evaluation with its slot in the result order.
 type sweepJob struct {
 	suite *Suite
-	pair  [2]int
+	group []int
 	index int
 }
 
-// Run evaluates every selected pair of every suite and returns the results
-// in enumeration order. On failure it returns the error of the
+func (j sweepJob) describe() string {
+	idx := make([]string, len(j.group))
+	for i, m := range j.group {
+		idx[i] = fmt.Sprint(m)
+	}
+	return fmt.Sprintf("%s group (%s)", j.suite.Name, strings.Join(idx, ","))
+}
+
+// Run evaluates every selected group of every suite and returns the
+// results in enumeration order. On failure it returns the error of the
 // lowest-indexed failing job (jobs already running when a failure is
 // observed still finish; jobs not yet started are skipped).
-func (r *Runner) Run(suites []*Suite, sc Scale) ([]*PairResult, error) {
+func (r *Runner) Run(suites []*Suite, sc Scale) ([]*GroupResult, error) {
 	if sc.Cache == nil {
 		sc.Cache = flow.NewCache()
 	}
 	var jobs []sweepJob
 	for _, s := range suites {
-		for _, p := range s.Pairs {
-			jobs = append(jobs, sweepJob{suite: s, pair: p, index: len(jobs)})
+		for _, grp := range s.Groups {
+			jobs = append(jobs, sweepJob{suite: s, group: grp, index: len(jobs)})
 		}
 	}
 	workers := r.Workers
@@ -62,7 +71,7 @@ func (r *Runner) Run(suites []*Suite, sc Scale) ([]*PairResult, error) {
 		return nil, nil
 	}
 
-	results := make([]*PairResult, len(jobs))
+	results := make([]*GroupResult, len(jobs))
 	errs := make([]error, len(jobs))
 	var failed atomic.Bool
 	var progressMu sync.Mutex
@@ -78,10 +87,10 @@ func (r *Runner) Run(suites []*Suite, sc Scale) ([]*PairResult, error) {
 				}
 				if r.Progress != nil {
 					progressMu.Lock()
-					r.Progress(fmt.Sprintf("%s pair (%d,%d)", j.suite.Name, j.pair[0], j.pair[1]))
+					r.Progress(j.describe())
 					progressMu.Unlock()
 				}
-				res, err := RunPair(j.suite, j.pair, sc)
+				res, err := RunGroup(j.suite, j.group, sc)
 				if err != nil {
 					errs[j.index] = err
 					failed.Store(true)
@@ -99,8 +108,7 @@ func (r *Runner) Run(suites []*Suite, sc Scale) ([]*PairResult, error) {
 
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s pair (%d,%d): %w",
-				jobs[i].suite.Name, jobs[i].pair[0], jobs[i].pair[1], err)
+			return nil, fmt.Errorf("experiments: %s: %w", jobs[i].describe(), err)
 		}
 	}
 	return results, nil
@@ -108,6 +116,6 @@ func (r *Runner) Run(suites []*Suite, sc Scale) ([]*PairResult, error) {
 
 // RunAll is the convenience form of Runner.Run: it sweeps all suites with
 // the given worker count.
-func RunAll(suites []*Suite, sc Scale, workers int, progress func(string)) ([]*PairResult, error) {
+func RunAll(suites []*Suite, sc Scale, workers int, progress func(string)) ([]*GroupResult, error) {
 	return (&Runner{Workers: workers, Progress: progress}).Run(suites, sc)
 }

@@ -30,7 +30,7 @@ func tinySuites(t *testing.T, sc Scale) []*Suite {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return &Suite{Name: suiteName, Circuits: circuits, Pairs: [][2]int{{0, 1}, {0, 2}}}
+		return &Suite{Name: suiteName, Circuits: circuits, Groups: [][]int{{0, 1}, {0, 2}}}
 	}
 	return []*Suite{
 		mk("RegExp", []string{`GET /(a|b)x+`, `POST /(c|d)y+`, `PUT /(e|f)z+`}),
@@ -46,7 +46,7 @@ func TestRunnerDeterministicAcrossWorkerCounts(t *testing.T) {
 	sc := Scale{Effort: 0.1, Seed: 1}
 	suites := tinySuites(t, sc)
 
-	var serial []*PairResult
+	var serial []*GroupResult
 	for _, workers := range []int{1, 8} {
 		sc := sc
 		sc.Cache = flow.NewCache()
@@ -99,7 +99,7 @@ func TestRunSuiteMatchesRunner(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("RunSuite results differ from Runner results")
 	}
-	wantMsgs := []string{"RegExp pair (0,1)", "RegExp pair (0,2)"}
+	wantMsgs := []string{"RegExp group (0,1)", "RegExp group (0,2)"}
 	if !reflect.DeepEqual(msgs, wantMsgs) {
 		t.Fatalf("progress = %v, want %v", msgs, wantMsgs)
 	}

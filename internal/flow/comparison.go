@@ -22,7 +22,10 @@ type Comparison struct {
 // more tracks than the single-mode minimum (its placement compromises
 // between modes), so the common region is widened until all three flows
 // route — keeping MDR and DCS on identical hardware for fair bit
-// accounting.
+// accounting. When widening alone does not converge (input-pin congestion
+// of an N-mode merge does not scale with channel width — a CLB has K pins
+// at any W), the last attempts re-anneal with a perturbed seed instead;
+// runs that succeed within the widening attempts are unaffected.
 func RunComparison(name string, modes []*lutnet.Circuit, cfg Config) (*Comparison, error) {
 	cfg = cfg.filled()
 	region, err := SizeRegion(modes, cfg)
@@ -43,9 +46,16 @@ func RunComparison(name string, modes []*lutnet.Circuit, cfg Config) (*Compariso
 			region.MinW = minW
 			return cmp, nil
 		}
-		if attempt >= 6 {
+		if attempt >= 9 {
 			return nil, fmt.Errorf("flow: %s: %w", name, err)
 		}
-		region = cfg.NewRegion(region.Arch.Width, region.Arch.W+2)
+		if attempt < 6 {
+			region = cfg.NewRegion(region.Arch.Width, region.Arch.W+2)
+		} else {
+			// Deterministic re-anneal on the widest region, with a router
+			// iteration budget raised for these near-capacity instances.
+			cfg.Seed += 7919
+			cfg.RouteOpts.MaxIters = 2 * cfg.RouteOpts.MaxIters
+		}
 	}
 }

@@ -198,9 +198,13 @@ func placeCircuit(c *lutnet.Circuit, a arch.Arch, cfg Config, seedOffset int64) 
 	return pl, cc, nil
 }
 
-// ModeImpl is one mode's separate implementation under MDR.
+// ModeImpl is one mode's separate implementation under MDR. It retains
+// everything needed to assemble the mode's full configuration afterwards
+// (bitstream.Assemble, e.g. for the Diff switch-cost matrix).
 type ModeImpl struct {
 	Placement *place.Placement
+	Cells     place.CircuitCells
+	Nets      []route.Net
 	Routing   *route.Result
 	WireLen   int
 	UsedBits  map[int32]bool
@@ -241,7 +245,9 @@ func RunMDR(modes []*lutnet.Circuit, region *Region, cfg Config) (*MDRResult, er
 			bitCount[b]++
 		}
 		wl := route.TotalWireLength(region.Graph, rr)
-		res.PerMode = append(res.PerMode, ModeImpl{Placement: pl, Routing: rr, WireLen: wl, UsedBits: used})
+		res.PerMode = append(res.PerMode, ModeImpl{
+			Placement: pl, Cells: cc, Nets: nets, Routing: rr, WireLen: wl, UsedBits: used,
+		})
 		res.AvgWire += float64(wl)
 	}
 	res.AvgWire /= float64(len(modes))

@@ -1,0 +1,161 @@
+package flow
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/bitstream"
+	"repro/internal/lutnet"
+	"repro/internal/troute"
+)
+
+// SwitchMatrix is the N×N per-switch reconfiguration-cost matrix of an
+// N-mode group: m[i][j] is the number of configuration bits rewritten when
+// the region switches from mode i to mode j. The diagonal is zero (staying
+// in a mode rewrites nothing). The pair sweep's single "bits per switch"
+// number is the 2-mode special case; for N ≥ 3 the matrix exposes which
+// specific transitions are cheap and which are expensive.
+type SwitchMatrix [][]int
+
+// NewSwitchMatrix returns a zeroed n×n matrix.
+func NewSwitchMatrix(n int) SwitchMatrix {
+	m := make(SwitchMatrix, n)
+	for i := range m {
+		m[i] = make([]int, n)
+	}
+	return m
+}
+
+// N returns the number of modes the matrix covers.
+func (m SwitchMatrix) N() int { return len(m) }
+
+// Avg returns the mean cost over all ordered off-diagonal switches.
+func (m SwitchMatrix) Avg() float64 {
+	n := len(m)
+	if n < 2 {
+		return 0
+	}
+	sum := 0
+	for i := range m {
+		for j := range m[i] {
+			if i != j {
+				sum += m[i][j]
+			}
+		}
+	}
+	return float64(sum) / float64(n*(n-1))
+}
+
+// Worst returns the most expensive switch (from, to, cost). For an empty
+// or 1×1 matrix it returns (0, 0, 0).
+func (m SwitchMatrix) Worst() (from, to, cost int) {
+	for i := range m {
+		for j := range m[i] {
+			if i != j && m[i][j] > cost {
+				from, to, cost = i, j, m[i][j]
+			}
+		}
+	}
+	return from, to, cost
+}
+
+// Symmetric reports whether m[i][j] == m[j][i] for every mode pair —
+// guaranteed for any accounting that counts *differing* bits between two
+// configurations (bit difference is an unordered relation).
+func (m SwitchMatrix) Symmetric() bool {
+	for i := range m {
+		if len(m[i]) != len(m) {
+			return false
+		}
+		for j := i + 1; j < len(m); j++ {
+			if m[i][j] != m[j][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FprintRows writes the matrix body, one "[ ... ]" row per line with
+// right-aligned cells, each line prefixed by indent — the shared rendering
+// under every report's own header line.
+func (m SwitchMatrix) FprintRows(w io.Writer, indent string) {
+	for i := range m {
+		cells := make([]string, len(m[i]))
+		for j, v := range m[i] {
+			cells[j] = fmt.Sprintf("%8d", v)
+		}
+		fmt.Fprintf(w, "%s[%s ]\n", indent, strings.Join(cells, " "))
+	}
+}
+
+// MDRSwitchMatrix is the full-rewrite accounting of the MDR baseline:
+// every mode switch rewrites the whole region, so every off-diagonal
+// entry is the region's total configuration-bit count.
+func MDRSwitchMatrix(region *Region, n int) SwitchMatrix {
+	total := region.Graph.TotalConfigBits()
+	m := NewSwitchMatrix(n)
+	for i := range m {
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = total
+			}
+		}
+	}
+	return m
+}
+
+// MDRDiffSwitchMatrix is the Diff accounting of the MDR baseline tied to
+// actual bitstreams: each mode's separate implementation is assembled into
+// a full configuration, and m[i][j] is bitstream.DiffBits between the
+// configurations of modes i and j (LUT plus routing bits that actually
+// change). It is symmetric by construction.
+func MDRDiffSwitchMatrix(region *Region, modes []*lutnet.Circuit, mdr *MDRResult) (SwitchMatrix, error) {
+	if len(modes) != len(mdr.PerMode) {
+		return nil, fmt.Errorf("flow: %d modes but %d MDR implementations", len(modes), len(mdr.PerMode))
+	}
+	cfgs := make([]*bitstream.Config, len(modes))
+	for i, impl := range mdr.PerMode {
+		cfg, err := bitstream.Assemble(region.Graph, modes[i], impl.Cells, impl.Placement, impl.Nets, impl.Routing)
+		if err != nil {
+			return nil, fmt.Errorf("flow: assembling MDR mode %d: %w", i, err)
+		}
+		cfgs[i] = cfg
+	}
+	m := NewSwitchMatrix(len(modes))
+	for i := range cfgs {
+		for j := i + 1; j < len(cfgs); j++ {
+			lutDiff, routingDiff, err := bitstream.DiffBits(cfgs[i], cfgs[j])
+			if err != nil {
+				return nil, err
+			}
+			m[i][j] = lutDiff + routingDiff
+			m[j][i] = m[i][j]
+		}
+	}
+	return m, nil
+}
+
+// DCSSwitchMatrix is the paper's accounting applied per transition: a
+// switch from mode i to mode j rewrites all LUT bits of the region (the
+// conservative convention) plus only the parameterised routing bits whose
+// configured value differs between the two modes.
+func DCSSwitchMatrix(a arch.Arch, tr *troute.Result, n int) SwitchMatrix {
+	m := NewSwitchMatrix(n)
+	lut := a.TotalLUTBits()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			diff := 0
+			for _, act := range tr.BitModes {
+				if act.Contains(i) != act.Contains(j) {
+					diff++
+				}
+			}
+			m[i][j] = lut + diff
+			m[j][i] = m[i][j]
+		}
+	}
+	return m
+}

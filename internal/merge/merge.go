@@ -272,6 +272,7 @@ func CombinedPlace(name string, modes []*lutnet.Circuit, a arch.Arch, opt Option
 	}
 
 	anneal(st, a, opt, rng)
+	repairPins(st, a)
 
 	return extract(name, modes, st)
 }

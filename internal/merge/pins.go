@@ -1,0 +1,182 @@
+package merge
+
+import (
+	"sort"
+
+	"repro/internal/arch"
+)
+
+// Input-pin feasibility of a combined placement.
+//
+// A Tunable LUT's input branches are the distinct driver entities feeding
+// it, each active in a set of modes; two branches whose mode sets overlap
+// must enter the CLB through different physical pins, while mode-disjoint
+// branches may share one. Routing therefore needs a conflict-free
+// assignment of branches to the K pins — a graph colouring where branches
+// conflict when their activation sets intersect.
+//
+// With two modes this is always satisfiable: every mode drives at most K
+// branches, and single-mode branches of different modes can pair up on a
+// pin. From three modes up the union demand can exceed K (e.g. three
+// pairwise-overlapping two-mode branches plus per-mode exclusive inputs),
+// and no router can fix that — the grouping itself is infeasible. The
+// combined-placement annealer optimises wirelength or edge matching and
+// knows nothing about pins, so repairPins post-processes its result:
+// every CLB position whose greedy pin colouring needs more than K pins
+// has one mode's cell relocated until the placement is colourable.
+func repairPins(st *state, a arch.Arch) {
+	if len(st.modes) < 3 {
+		return // two-mode groupings are always pin-feasible
+	}
+	k := a.K
+	nCLB := len(st.clbSites)
+
+	// Worklist of CLB positions to check, deduplicated.
+	inQueue := make([]bool, nCLB)
+	queue := make([]int32, 0, nCLB)
+	push := func(p int32) {
+		if int(p) < nCLB && !inQueue[p] {
+			inQueue[p] = true
+			queue = append(queue, p)
+		}
+	}
+	for p := int32(0); int(p) < nCLB; p++ {
+		push(p)
+	}
+
+	branches := map[int32]uint64{}
+	// Deterministic bound: each relocation enqueues O(1) positions, so a
+	// generous multiple of the array size terminates even if some hotspot
+	// cannot be repaired (the router's own retries then take over).
+	for budget := 8 * nCLB; budget > 0 && len(queue) > 0; budget-- {
+		p := queue[0]
+		queue = queue[1:]
+		inQueue[p] = false
+		if st.pinDemand(p, branches) <= k {
+			continue
+		}
+		// Relocate the cell contributing the most branches; break cost
+		// ties by mode index for determinism.
+		bestMode, bestDrv := -1, -1
+		for m, mi := range st.modes {
+			c := st.cellAt[m][p]
+			if c < 0 || mi.isIO(c) {
+				continue
+			}
+			if d := len(mi.driversFor[c]); d > bestDrv {
+				bestMode, bestDrv = m, d
+			}
+		}
+		if bestMode < 0 {
+			continue
+		}
+		c := st.cellAt[bestMode][p]
+		q := st.relocationTarget(p, bestMode, k, branches)
+		if q < 0 {
+			continue // nowhere feasible; leave it to the router retries
+		}
+		st.doSwap(bestMode, p, q)
+		// The move changes the pin demand at p, at q, and at every
+		// position sinking the moved cell's nets in that mode (their
+		// branch keyed by this driver changed position).
+		push(p)
+		push(q)
+		for _, s := range st.modes[bestMode].sinksOf[c] {
+			push(st.posOf[bestMode][s])
+		}
+	}
+
+	// Repair moved cells around: refresh the cached per-position costs so
+	// any later consumer of the state sees consistent numbers.
+	scratch := map[int32]bool{}
+	for p := int32(0); int(p) < st.nPos; p++ {
+		st.posCost[p] = st.costAt(p, scratch)
+	}
+}
+
+// pinDemand returns the number of input pins a greedy colouring needs at
+// CLB position p: branches (distinct driver positions with their mode
+// sets) are assigned first-fit to pins whose accumulated mode set they do
+// not intersect. Greedy never underestimates the true chromatic demand,
+// matching the conservative behaviour of the router's own pin choice.
+func (st *state) pinDemand(p int32, branches map[int32]uint64) int {
+	for key := range branches {
+		delete(branches, key)
+	}
+	for m, mi := range st.modes {
+		c := st.cellAt[m][p]
+		if c < 0 || mi.isIO(c) {
+			continue
+		}
+		for _, d := range mi.driversFor[c] {
+			branches[st.posOf[m][d]] |= uint64(1) << uint(m)
+		}
+	}
+	if len(branches) == 0 {
+		return 0
+	}
+	order := make([]int32, 0, len(branches))
+	for d := range branches {
+		order = append(order, d)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	var pins []uint64
+	for _, d := range order {
+		mask := branches[d]
+		placed := false
+		for i := range pins {
+			if pins[i]&mask == 0 {
+				pins[i] |= mask
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			pins = append(pins, mask)
+		}
+	}
+	return len(pins)
+}
+
+// relocationTarget picks the nearest CLB position that is free in the
+// given mode and stays pin-feasible after receiving the cell currently at
+// p — preferring positions empty in every mode (always feasible). Returns
+// -1 when no candidate qualifies.
+func (st *state) relocationTarget(p int32, m, k int, branches map[int32]uint64) int32 {
+	px, py := st.xy(p)
+	type cand struct {
+		pos  int32
+		dist int
+	}
+	var cands []cand
+	for q := int32(0); int(q) < len(st.clbSites); q++ {
+		if q == p || st.cellAt[m][q] >= 0 {
+			continue
+		}
+		x, y := st.xy(q)
+		d := abs(x-px) + abs(y-py)
+		cands = append(cands, cand{pos: q, dist: d})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].pos < cands[j].pos
+	})
+	for _, c := range cands {
+		st.doSwap(m, p, c.pos)
+		ok := st.pinDemand(c.pos, branches) <= k
+		st.doSwap(m, p, c.pos)
+		if ok {
+			return c.pos
+		}
+	}
+	return -1
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

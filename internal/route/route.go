@@ -138,9 +138,10 @@ type router struct {
 	hist [][]float64 // [mode][node]: congestion history is per mode, so
 	// contention in one mode does not repel nets of other modes from
 	// resources they could legally share
-	presFac float64
-	curMask uint64 // mask of the branch being routed
-	allMask uint64
+	presFac  float64
+	curMask  uint64 // mask of the branch being routed
+	histMask uint64 // mask for history pricing (see nodeCost)
+	allMask  uint64
 
 	// Reusable scratch, sized to the graph once per Route call. visited and
 	// nodeMask are kept clean between uses via touched lists so resetting
@@ -193,19 +194,23 @@ func capacities(g *arch.Graph) []int16 {
 
 func (r *router) nodeCost(n int32) float64 {
 	b := baseCost(r.g.Nodes[n].Type)
-	// Worst overuse and history over the modes the current branch is
-	// active in.
+	// Worst overuse over the modes the current branch is active in;
+	// history over histMask. For ≥3 modes histMask is the whole net's
+	// mask: the prefix shared by a net's branches carries the union of
+	// their modes, so a branch that prices only its own modes can keep
+	// re-choosing a prefix whose congestion lives in a sibling branch's
+	// mode — the history term is what breaks that deadlock.
 	var worst int16
 	var h float64
 	for m := 0; m < len(r.occ); m++ {
+		if r.histMask>>uint(m)&1 == 1 && r.hist[m][n] > h {
+			h = r.hist[m][n]
+		}
 		if r.curMask>>uint(m)&1 == 0 {
 			continue
 		}
 		if o := r.occ[m][n]; o > worst {
 			worst = o
-		}
-		if r.hist[m][n] > h {
-			h = r.hist[m][n]
 		}
 	}
 	over := float64(worst + 1 - r.cap[n])
@@ -449,6 +454,12 @@ func (r *router) routeNet(n *Net) (Tree, error) {
 	for _, si := range idx {
 		sink := n.Sinks[si]
 		r.curMask = sinkMask(si)
+		// History pricing: per-branch for 1-2 modes (the paper's tuning,
+		// preserved bit-for-bit), net-wide from 3 modes up — see nodeCost.
+		r.histMask = r.curMask
+		if len(r.occ) >= 3 {
+			r.histMask = netMask
+		}
 		r.nodeMask[sink] |= sinkMask(si)
 		if r.inTree[sink] {
 			// Multiple logical sinks can share one SINK node (e.g. two

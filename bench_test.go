@@ -313,6 +313,34 @@ func benchNetlist(n int, seed int64) *netlist.Netlist {
 	return bld.N
 }
 
+// benchPlaceCircuit maps one full-scale regex engine — the paper's
+// primary workload, and the shape the placer actually sees in the sweep:
+// a couple hundred cells whose char-match broadcast nets fan out to over
+// a hundred sinks. (The random benchNetlist is useless here: its gates
+// mostly collapse to constants under synthesis.)
+func benchPlaceCircuit(b *testing.B) *lutnet.Circuit {
+	b.Helper()
+	var rule *regexgen.Rule
+	for i, r := range regexgen.BleedingEdgeRules() {
+		if r.Name == "ftp-user-overflow" { // max-fanout net ~150 pins
+			rule = &regexgen.BleedingEdgeRules()[i]
+			break
+		}
+	}
+	if rule == nil {
+		b.Fatal("ftp-user-overflow rule missing from BleedingEdgeRules")
+	}
+	n, err := regexgen.Generate(rule.Name, rule.Pattern, regexgen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mapped, err := flow.MapModes([]*netlist.Netlist{n}, benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mapped[0]
+}
+
 // BenchmarkSynthOptimize measures the synthesis clean-up passes.
 func BenchmarkSynthOptimize(b *testing.B) {
 	n := benchNetlist(600, 3)
@@ -333,15 +361,15 @@ func BenchmarkTechmap(b *testing.B) {
 	}
 }
 
-// BenchmarkPlaceSA measures the VPR-style annealer.
-func BenchmarkPlaceSA(b *testing.B) {
-	c, err := techmap.Map(synth.Optimize(benchNetlist(400, 5)), 4)
-	if err != nil {
-		b.Fatal(err)
-	}
+// BenchmarkPlaceAnneal measures the VPR-style placer on the shared
+// annealing kernel, with allocations reported: the incremental
+// bounding-box cost model keeps the whole move loop allocation-free.
+func BenchmarkPlaceAnneal(b *testing.B) {
+	c := benchPlaceCircuit(b)
 	side := arch.MinGridForBlocks(c.NumBlocks(), c.NumPIs()+len(c.POs), 1.2)
 	a := arch.New(side, side, 8)
 	prob, _ := place.FromCircuit(c)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := place.Place(prob, a, place.Options{Seed: int64(i), Effort: 0.15}); err != nil {
@@ -376,8 +404,10 @@ func BenchmarkPathFinder(b *testing.B) {
 	}
 }
 
-// BenchmarkCombinedPlacement measures the paper's merge step alone.
-func BenchmarkCombinedPlacement(b *testing.B) {
+// BenchmarkCombinedPlace measures the paper's merge step alone, with
+// allocations reported: the combined-placement cost path dedups sink and
+// affected sets through array scratch, not per-evaluation maps.
+func BenchmarkCombinedPlace(b *testing.B) {
 	modes := miniModes(b)
 	maxB, maxIO := 0, 0
 	for _, c := range modes {
@@ -390,6 +420,7 @@ func BenchmarkCombinedPlacement(b *testing.B) {
 	}
 	side := arch.MinGridForBlocks(maxB, maxIO, 1.2)
 	a := arch.New(side, side, 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := merge.CombinedPlace("bench", modes, a, merge.Options{

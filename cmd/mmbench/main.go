@@ -40,7 +40,20 @@ func main() {
 
 	sc := experiments.Scale{GroupsPerSuite: *groups, Effort: *effort, Seed: *seed}
 	if *full {
+		// Paper-scale defaults; explicitly set flags still win, so e.g.
+		// `-full -effort 1.0` raises the annealing effort threaded through
+		// experiments into flow.Config.PlaceEffort and the anneal kernel.
 		sc = experiments.FullScale()
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "groups", "pairs":
+				sc.GroupsPerSuite = *groups
+			case "effort":
+				sc.Effort = *effort
+			case "seed":
+				sc.Seed = *seed
+			}
+		})
 	}
 	// One cache for the whole invocation: the figure sweep, the area pass
 	// and the ablations reuse each other's graphs and placements.

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	mmflow [-k 4] [-effort 0.5] [-seed 1] [-objective wire|edge] [-json] mode1.blif mode2.blif [...]
+//	mmflow [-k 4] [-effort 0.5] [-refinefrac 0.1] [-seed 1] [-objective wire|edge] [-json] mode1.blif mode2.blif [...]
 package main
 
 import (
@@ -86,6 +86,7 @@ type switchInfo struct {
 func main() {
 	k := flag.Int("k", 4, "LUT inputs")
 	effort := flag.Float64("effort", 0.5, "annealing effort (1.0 = VPR-like)")
+	refineFrac := flag.Float64("refinefrac", 0, "TPlace refinement opening-temperature fraction (0 = kernel default 0.1)")
 	seed := flag.Int64("seed", 1, "random seed")
 	objective := flag.String("objective", "wire", "combined-placement objective: wire or edge")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout")
@@ -127,7 +128,7 @@ func main() {
 		nls = append(nls, n)
 	}
 
-	cfg := flow.Config{K: *k, PlaceEffort: *effort, Seed: *seed}
+	cfg := flow.Config{K: *k, PlaceEffort: *effort, RefineTempFraction: *refineFrac, Seed: *seed}
 	mapped, err := flow.MapModes(nls, cfg)
 	if err != nil {
 		fail(err)

@@ -1,0 +1,152 @@
+// Package anneal is the shared simulated-annealing kernel behind every
+// placement-shaped optimisation in the repo: per-mode MDR placement and
+// TPlace refinement (package place) and the paper's multi-mode combined
+// placement (package merge). The kernel owns everything the three users
+// used to duplicate — initial-temperature estimation from probed move
+// deltas, the VPR-style adaptive schedule, the move/accept/undo loop and
+// the range-limit adaptation — and is parameterised over a small Mover
+// interface supplying the problem-specific parts: proposing a move,
+// evaluating its cost delta incrementally, and undoing it.
+//
+// Hot-path contract for Mover implementations:
+//
+//   - TryMove must evaluate the delta *incrementally* (touch only the
+//     nets/positions the move affects) and leave the move applied; the
+//     kernel calls Undo to reject. After any accepted/rejected sequence
+//     the maintained total must equal a from-scratch recompute exactly
+//     (both users have property tests asserting this).
+//   - TryMove must not allocate per call: affected-set deduplication and
+//     undo snapshots live in scratch buffers owned by the Mover.
+//   - Cost deltas must be accumulated over a deterministically ordered
+//     (never map-ordered) affected set: float addition is not
+//     associative, so a scheduler-dependent order would make seeded runs
+//     irreproducible.
+//
+// The kernel itself draws from the caller's rng in a fixed order (one
+// TryMove per probe/move, one Float64 per uphill move), so a seeded run
+// is reproducible by construction.
+package anneal
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Mover is the problem-specific side of the annealing loop.
+type Mover interface {
+	// TryMove proposes a random move within the range limit rlim,
+	// applies it, and returns its cost delta. ok is false when the
+	// proposal was degenerate (no-op target, class mismatch); such an
+	// attempt counts as neither tried nor accepted and must leave the
+	// state untouched.
+	TryMove(rng *rand.Rand, rlim float64) (delta float64, ok bool)
+	// Undo reverts the last applied TryMove.
+	Undo()
+	// Cost returns the current total cost from the Mover's incremental
+	// bookkeeping (called once per temperature round, not per move).
+	Cost() float64
+}
+
+// Config sizes the schedule for one annealing run.
+type Config struct {
+	// Effort scales moves per temperature; 1.0 ≈ VPR inner_num 10.
+	Effort float64
+	// Span is the device span (width + height): the initial range limit
+	// and the probe rlim.
+	Span int
+	// Cells is the number of movable objects (schedule sizing and probe
+	// count). Zero disables annealing.
+	Cells int
+	// Nets is the number of cost-bearing nets; the stop criterion
+	// compares the temperature against the cost per net. Zero disables
+	// annealing (no net, nothing to optimise).
+	Nets int
+	// Refine starts from an existing good solution: the usual starting
+	// temperature is scaled by RefineTempFraction and the range limit
+	// opens at a quarter span, so the seed is improved, not destroyed.
+	Refine bool
+	// RefineTempFraction scales the probed starting temperature when
+	// Refine is set (default 0.1).
+	RefineTempFraction float64
+}
+
+// Run anneals the Mover's state in place: probe initial temperature,
+// then rounds of Moves attempts with Metropolis acceptance until the
+// schedule says the temperature is cold relative to the cost per net.
+func Run(mv Mover, cfg Config, rng *rand.Rand) {
+	if cfg.Cells <= 0 || cfg.Nets <= 0 {
+		return
+	}
+	span := cfg.Span
+
+	// Estimate the initial temperature from probed (and undone) move
+	// deltas: T0 = 20 σ (VPR).
+	var deltas []float64
+	for i := 0; i < cfg.Cells; i++ {
+		d, ok := mv.TryMove(rng, float64(span))
+		if !ok {
+			continue
+		}
+		deltas = append(deltas, d)
+		mv.Undo()
+	}
+	sch := NewSchedule(Stddev(deltas), span, cfg.Cells, cfg.Effort)
+	if cfg.Refine {
+		frac := cfg.RefineTempFraction
+		if frac <= 0 {
+			frac = 0.1
+		}
+		sch.T *= frac
+		sch.RLim = float64(span) / 4
+		if sch.RLim < 1 {
+			sch.RLim = 1
+		}
+	}
+
+	for {
+		for m := 0; m < sch.Moves; m++ {
+			d, ok := mv.TryMove(rng, sch.RLim)
+			if !ok {
+				continue
+			}
+			if d <= 0 || rng.Float64() < math.Exp(-d/sch.T) {
+				sch.Record(true)
+			} else {
+				mv.Undo()
+				sch.Record(false)
+			}
+		}
+		if !sch.Next(mv.Cost()/float64(cfg.Nets), span) {
+			break
+		}
+	}
+}
+
+// Clamp bounds v to [lo, hi].
+func Clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Stddev returns the standard deviation of xs (1 for an empty slice, so
+// a degenerate probe still yields a usable starting temperature).
+func Stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}

@@ -1,0 +1,67 @@
+package anneal
+
+import "math"
+
+// Schedule holds the adaptive annealing parameters: temperature, range
+// limit and the per-round move budget.
+type Schedule struct {
+	T      float64
+	RLim   float64
+	Moves  int
+	accept int
+	tried  int
+}
+
+// NewSchedule seeds the schedule from an initial cost standard deviation
+// (VPR: T0 = 20 σ) and the device span.
+func NewSchedule(sigma float64, span int, nCells int, effort float64) *Schedule {
+	t0 := 20 * sigma
+	if t0 <= 0 {
+		t0 = 1
+	}
+	moves := int(effort * 10 * math.Pow(float64(nCells), 4.0/3.0))
+	if moves < 64 {
+		moves = 64
+	}
+	return &Schedule{T: t0, RLim: float64(span), Moves: moves}
+}
+
+// Record notes one attempted move and whether it was accepted.
+func (s *Schedule) Record(accepted bool) {
+	s.tried++
+	if accepted {
+		s.accept++
+	}
+}
+
+// Next advances the temperature and range limit after one round of moves,
+// reporting whether annealing should continue given the current
+// cost-per-net scale.
+func (s *Schedule) Next(costPerNet float64, span int) bool {
+	alphaAccept := 0.0
+	if s.tried > 0 {
+		alphaAccept = float64(s.accept) / float64(s.tried)
+	}
+	var gamma float64
+	switch {
+	case alphaAccept > 0.96:
+		gamma = 0.5
+	case alphaAccept > 0.8:
+		gamma = 0.9
+	case alphaAccept > 0.15:
+		gamma = 0.95
+	default:
+		gamma = 0.8
+	}
+	s.T *= gamma
+	// Range limit tracks 44% acceptance (Lam/VPR).
+	s.RLim *= 1 - 0.44 + alphaAccept
+	if s.RLim < 1 {
+		s.RLim = 1
+	}
+	if s.RLim > float64(span) {
+		s.RLim = float64(span)
+	}
+	s.accept, s.tried = 0, 0
+	return s.T >= 0.005*costPerNet
+}

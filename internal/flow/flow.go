@@ -34,8 +34,12 @@ type Config struct {
 	RelaxArea   float64 // region area relaxation (default 1.2)
 	RelaxW      float64 // channel-width relaxation (default 1.2)
 	PlaceEffort float64 // SA effort (default 1.0)
-	Seed        int64
-	RouteOpts   route.Options
+	// RefineTempFraction scales the annealing kernel's starting
+	// temperature when TPlace refines the combined placement
+	// (0 = the kernel default, 0.1).
+	RefineTempFraction float64
+	Seed               int64
+	RouteOpts          route.Options
 	// Cache, when non-nil, memoizes routing-resource graphs and placements
 	// across calls (see Cache). Results are identical with or without it;
 	// sharing one Cache between concurrent jobs deduplicates their work.

@@ -60,7 +60,11 @@ func TPlace(tc *tunable.Circuit, a arch.Arch, cfg Config, initLUT, initPad []arc
 		}
 	}
 
-	popt := place.Options{Seed: cfg.Seed + 7777, Effort: cfg.PlaceEffort}
+	popt := place.Options{
+		Seed:               cfg.Seed + 7777,
+		Effort:             cfg.PlaceEffort,
+		RefineTempFraction: cfg.RefineTempFraction,
+	}
 	if initLUT != nil && initPad != nil {
 		init := make([]arch.Site, 0, len(prob.Cells))
 		init = append(init, initLUT...)

@@ -2,7 +2,9 @@
 // LUT circuits into one Tunable circuit via *combined placement* — a
 // simulated annealing over all modes simultaneously in which LUTs of
 // different modes may share a physical logic block and a swap moves one
-// mode's LUT between two sites. Two optimisation objectives are provided:
+// mode's LUT between two sites. The annealing itself is the shared kernel
+// in internal/anneal; this package supplies the multi-mode move and the
+// incremental cost model. Two optimisation objectives are provided:
 //
 //   - circuit edge matching (prior work, Rullmann & Merker): minimise the
 //     number of Tunable connections, i.e. maximise per-mode connections
@@ -18,6 +20,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/anneal"
 	"repro/internal/arch"
 	"repro/internal/lutnet"
 	"repro/internal/place"
@@ -86,8 +89,14 @@ func buildModeInfo(c *lutnet.Circuit) *modeInfo {
 		numPIs:    len(c.PINames),
 		numPOs:    len(c.POs),
 	}
-	mi.sinksOf = make([][]int32, mi.numCells())
-	mi.driversFor = make([][]int32, mi.numCells())
+	n := mi.numCells()
+	// Collect the deduplicated (driver, sink) edges once, then carve the
+	// adjacency lists out of two exact-size backing arrays — hundreds of
+	// append-grown slices otherwise dominate CombinedPlace's allocations.
+	type edge struct{ d, s int32 }
+	var edges []edge
+	seen := make([]bool, n)
+	var touched []int32
 	for _, nt := range c.Nets() {
 		var drv int32
 		if nt.Src.Kind == lutnet.SrcPI {
@@ -95,39 +104,137 @@ func buildModeInfo(c *lutnet.Circuit) *modeInfo {
 		} else {
 			drv = int32(nt.Src.Idx)
 		}
-		seen := map[int32]bool{}
+		for _, s := range touched {
+			seen[s] = false
+		}
+		touched = touched[:0]
 		for _, bp := range nt.BlockIn {
 			s := int32(bp.Block)
 			if !seen[s] {
 				seen[s] = true
-				mi.sinksOf[drv] = append(mi.sinksOf[drv], s)
-				mi.driversFor[s] = append(mi.driversFor[s], drv)
+				touched = append(touched, s)
+				edges = append(edges, edge{drv, s})
 			}
 		}
 		for _, po := range nt.POSinks {
 			s := int32(mi.numBlocks + mi.numPIs + po)
 			if !seen[s] {
 				seen[s] = true
-				mi.sinksOf[drv] = append(mi.sinksOf[drv], s)
-				mi.driversFor[s] = append(mi.driversFor[s], drv)
+				touched = append(touched, s)
+				edges = append(edges, edge{drv, s})
 			}
 		}
+	}
+	sinkCnt := make([]int32, n)
+	drvCnt := make([]int32, n)
+	for _, e := range edges {
+		sinkCnt[e.d]++
+		drvCnt[e.s]++
+	}
+	sinkBack := make([]int32, len(edges))
+	drvBack := make([]int32, len(edges))
+	mi.sinksOf = make([][]int32, n)
+	mi.driversFor = make([][]int32, n)
+	so, do := 0, 0
+	for i := 0; i < n; i++ {
+		mi.sinksOf[i] = sinkBack[so : so : so+int(sinkCnt[i])]
+		so += int(sinkCnt[i])
+		mi.driversFor[i] = drvBack[do : do : do+int(drvCnt[i])]
+		do += int(drvCnt[i])
+	}
+	// Appends fill the pre-carved slices in the original edge order, so
+	// the adjacency ordering (and hence every downstream iteration) is
+	// identical to a direct append-per-cell construction.
+	for _, e := range edges {
+		mi.sinksOf[e.d] = append(mi.sinksOf[e.d], e.s)
+		mi.driversFor[e.s] = append(mi.driversFor[e.s], e.d)
 	}
 	return mi
 }
 
-// state is the combined-placement state.
+// state is the combined-placement state; it implements anneal.Mover.
 type state struct {
 	modes    []*modeInfo
 	clbSites []arch.Site
 	ioSites  []arch.Site
 	nPos     int
+	width    int
+	height   int
 	// posOf[m][cell], cellAt[m][pos] (-1 empty)
 	posOf  [][]int32
 	cellAt [][]int32
 	// cost per position (as a source site of a tunable net)
 	posCost   []float64
 	objective Objective
+	// costAt scratch: sinkSeen dedups the sink-position set of the
+	// Tunable net rooted at a position, sinkBuf holds it; both are wiped
+	// via the touched list in O(touched), never by a full clear.
+	sinkSeen []bool
+	sinkBuf  []int32
+	// Move-evaluation scratch, reused across moves: affSeen dedups the
+	// affected-position list, affBuf holds it, oldCost (parallel) the
+	// pre-move costs Undo restores. The list is built in deterministic
+	// insertion order: summing the cost delta in map iteration order
+	// would make annealing outcomes vary run to run, because float
+	// addition is not associative.
+	affSeen []bool
+	affBuf  []int32
+	oldCost []float64
+	// Pending move for anneal.Mover (set by TryMove, used by Undo).
+	mvMode   int
+	mvA, mvB int32
+}
+
+// newState builds the combined-placement state with a random legal
+// initial placement per mode.
+func newState(modes []*lutnet.Circuit, a arch.Arch, obj Objective, rng *rand.Rand) (*state, error) {
+	st := &state{
+		clbSites:  a.CLBSites(),
+		ioSites:   a.IOSites(),
+		width:     a.Width,
+		height:    a.Height,
+		objective: obj,
+	}
+	st.nPos = len(st.clbSites) + len(st.ioSites)
+	for _, c := range modes {
+		mi := buildModeInfo(c)
+		if mi.numBlocks > len(st.clbSites) {
+			return nil, fmt.Errorf("merge: mode %q has %d blocks for %d CLB sites", c.Name, mi.numBlocks, len(st.clbSites))
+		}
+		if mi.numPIs+mi.numPOs > len(st.ioSites) {
+			return nil, fmt.Errorf("merge: mode %q has %d IOs for %d pad sites", c.Name, mi.numPIs+mi.numPOs, len(st.ioSites))
+		}
+		st.modes = append(st.modes, mi)
+	}
+
+	st.posOf = make([][]int32, len(st.modes))
+	st.cellAt = make([][]int32, len(st.modes))
+	for m, mi := range st.modes {
+		st.posOf[m] = make([]int32, mi.numCells())
+		st.cellAt[m] = make([]int32, st.nPos)
+		for p := range st.cellAt[m] {
+			st.cellAt[m][p] = -1
+		}
+		clbPerm := rng.Perm(len(st.clbSites))
+		ioPerm := rng.Perm(len(st.ioSites))
+		for c := int32(0); int(c) < mi.numCells(); c++ {
+			var pos int32
+			if mi.isIO(c) {
+				pos = int32(len(st.clbSites) + ioPerm[int(c)-mi.numBlocks])
+			} else {
+				pos = int32(clbPerm[c])
+			}
+			st.posOf[m][c] = pos
+			st.cellAt[m][pos] = c
+		}
+	}
+	st.sinkSeen = make([]bool, st.nPos)
+	st.affSeen = make([]bool, st.nPos)
+	st.posCost = make([]float64, st.nPos)
+	for p := int32(0); int(p) < st.nPos; p++ {
+		st.posCost[p] = st.costAt(p)
+	}
+	return st, nil
 }
 
 func (st *state) siteAt(pos int32) arch.Site {
@@ -144,11 +251,11 @@ func (st *state) xy(pos int32) (int, int) {
 
 // costAt computes the objective contribution of position p as a source
 // site: the Tunable net rooted at p spans the union of sink sites of the
-// nets driven by the cells (one per mode) placed at p.
-func (st *state) costAt(p int32, scratch map[int32]bool) float64 {
-	for k := range scratch {
-		delete(scratch, k)
-	}
+// nets driven by the cells (one per mode) placed at p. The sink-position
+// set is deduplicated through the state's array scratch and touched list
+// — allocation-free and cleared in O(touched).
+func (st *state) costAt(p int32) float64 {
+	touched := st.sinkBuf[:0]
 	hasDriver := false
 	for m, mi := range st.modes {
 		cell := st.cellAt[m][p]
@@ -157,15 +264,27 @@ func (st *state) costAt(p int32, scratch map[int32]bool) float64 {
 		}
 		hasDriver = true
 		for _, s := range mi.sinksOf[cell] {
-			scratch[st.posOf[m][s]] = true
+			sp := st.posOf[m][s]
+			if !st.sinkSeen[sp] {
+				st.sinkSeen[sp] = true
+				touched = append(touched, sp)
+			}
 		}
 	}
-	if !hasDriver || len(scratch) == 0 {
+	st.sinkBuf = touched
+	if !hasDriver || len(touched) == 0 {
+		for _, sp := range touched {
+			st.sinkSeen[sp] = false
+		}
 		return 0
 	}
 	if st.objective == EdgeMatch {
 		// Number of Tunable connections rooted here.
-		return float64(len(scratch))
+		n := float64(len(touched))
+		for _, sp := range touched {
+			st.sinkSeen[sp] = false
+		}
+		return n
 	}
 	// Wire-length estimate of the Tunable net: q-corrected HPWL over the
 	// union of sink sites plus the source site (same estimator as TPlace).
@@ -190,7 +309,8 @@ func (st *state) costAt(p int32, scratch map[int32]bool) float64 {
 		x, y := st.xy(p)
 		upd(x, y)
 	}
-	for sp := range scratch {
+	for _, sp := range touched {
+		st.sinkSeen[sp] = false
 		x, y := st.xy(sp)
 		upd(x, y)
 		nTerm++
@@ -215,6 +335,91 @@ func (st *state) affected(m int, c int32, add func(int32)) {
 	}
 }
 
+// TryMove implements anneal.Mover: pick a mode and one of its cells, swap
+// it with a range-limited target position, and return the incremental
+// cost delta over the affected positions.
+func (st *state) TryMove(rng *rand.Rand, rlim float64) (float64, bool) {
+	m := rng.Intn(len(st.modes))
+	mi := st.modes[m]
+	if mi.numCells() == 0 {
+		return 0, false
+	}
+	c := int32(rng.Intn(mi.numCells()))
+	posA := st.posOf[m][c]
+	var posB int32
+	if mi.isIO(c) {
+		posB = int32(len(st.clbSites) + rng.Intn(len(st.ioSites)))
+	} else {
+		sa := st.siteAt(posA)
+		r := int(rlim)
+		if r < 1 {
+			r = 1
+		}
+		x := anneal.Clamp(sa.X+rng.Intn(2*r+1)-r, 1, st.width)
+		y := anneal.Clamp(sa.Y+rng.Intn(2*r+1)-r, 1, st.height)
+		posB = int32((y-1)*st.width + (x - 1))
+	}
+	if posB == posA {
+		return 0, false
+	}
+
+	affected := st.affBuf[:0]
+	add := func(p int32) {
+		if !st.affSeen[p] {
+			st.affSeen[p] = true
+			affected = append(affected, p)
+		}
+	}
+	ca, cb := st.cellAt[m][posA], st.cellAt[m][posB]
+	if ca >= 0 {
+		st.affected(m, ca, add)
+	}
+	if cb >= 0 {
+		st.affected(m, cb, add)
+	}
+	add(posA)
+	add(posB)
+	st.doSwap(m, posA, posB)
+	delta := 0.0
+	st.oldCost = st.oldCost[:0]
+	for _, p := range affected {
+		st.affSeen[p] = false
+		st.oldCost = append(st.oldCost, st.posCost[p])
+		nc := st.costAt(p)
+		delta += nc - st.posCost[p]
+		st.posCost[p] = nc
+	}
+	st.affBuf = affected
+	st.mvMode, st.mvA, st.mvB = m, posA, posB
+	return delta, true
+}
+
+// Undo implements anneal.Mover: revert the last TryMove's swap and the
+// posCost entries of its affected positions.
+func (st *state) Undo() {
+	st.doSwap(st.mvMode, st.mvA, st.mvB)
+	for i, p := range st.affBuf {
+		st.posCost[p] = st.oldCost[i]
+	}
+}
+
+// Cost implements anneal.Mover.
+func (st *state) Cost() float64 { return st.totalCost() }
+
+// numNets counts the cost-bearing nets across all modes (drivers with at
+// least one sink), the denominator of the kernel's stop criterion.
+func (st *state) numNets() int {
+	n := 0
+	for _, mi := range st.modes {
+		for _, s := range mi.sinksOf {
+			if len(s) > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // CombinedPlace runs the multi-mode simulated annealing and extracts the
 // resulting Tunable circuit.
 func CombinedPlace(name string, modes []*lutnet.Circuit, a arch.Arch, opt Options) (*Result, error) {
@@ -226,52 +431,24 @@ func CombinedPlace(name string, modes []*lutnet.Circuit, a arch.Arch, opt Option
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 
-	st := &state{
-		clbSites:  a.CLBSites(),
-		ioSites:   a.IOSites(),
-		objective: opt.Objective,
+	st, err := newState(modes, a, opt.Objective, rng)
+	if err != nil {
+		return nil, err
 	}
-	st.nPos = len(st.clbSites) + len(st.ioSites)
-	for _, c := range modes {
-		mi := buildModeInfo(c)
-		if mi.numBlocks > len(st.clbSites) {
-			return nil, fmt.Errorf("merge: mode %q has %d blocks for %d CLB sites", c.Name, mi.numBlocks, len(st.clbSites))
-		}
-		if mi.numPIs+mi.numPOs > len(st.ioSites) {
-			return nil, fmt.Errorf("merge: mode %q has %d IOs for %d pad sites", c.Name, mi.numPIs+mi.numPOs, len(st.ioSites))
-		}
-		st.modes = append(st.modes, mi)
+	nCells := 0
+	for _, mi := range st.modes {
+		nCells += mi.numCells()
 	}
-
-	// Random legal initial placement per mode.
-	st.posOf = make([][]int32, len(st.modes))
-	st.cellAt = make([][]int32, len(st.modes))
-	for m, mi := range st.modes {
-		st.posOf[m] = make([]int32, mi.numCells())
-		st.cellAt[m] = make([]int32, st.nPos)
-		for p := range st.cellAt[m] {
-			st.cellAt[m][p] = -1
-		}
-		clbPerm := rng.Perm(len(st.clbSites))
-		ioPerm := rng.Perm(len(st.ioSites))
-		for c := int32(0); int(c) < mi.numCells(); c++ {
-			var pos int32
-			if mi.isIO(c) {
-				pos = int32(len(st.clbSites) + ioPerm[int(c)-mi.numBlocks])
-			} else {
-				pos = int32(clbPerm[c])
-			}
-			st.posOf[m][c] = pos
-			st.cellAt[m][pos] = c
-		}
+	nNets := st.numNets()
+	if nNets == 0 {
+		nNets = 1
 	}
-	st.posCost = make([]float64, st.nPos)
-	scratch := map[int32]bool{}
-	for p := int32(0); int(p) < st.nPos; p++ {
-		st.posCost[p] = st.costAt(p, scratch)
-	}
-
-	anneal(st, a, opt, rng)
+	anneal.Run(st, anneal.Config{
+		Effort: opt.Effort,
+		Span:   a.Width + a.Height,
+		Cells:  nCells,
+		Nets:   nNets,
+	}, rng)
 	repairPins(st, a)
 
 	return extract(name, modes, st)
@@ -289,137 +466,6 @@ func (st *state) doSwap(m int, posA, posB int32) {
 	}
 }
 
-func anneal(st *state, a arch.Arch, opt Options, rng *rand.Rand) {
-	nCells := 0
-	for _, mi := range st.modes {
-		nCells += mi.numCells()
-	}
-	if nCells == 0 {
-		return
-	}
-	span := a.Width + a.Height
-	scratch := map[int32]bool{}
-	// Affected-position scratch, reused across moves. The list is built in
-	// deterministic insertion order: summing the cost delta in map
-	// iteration order would make annealing outcomes vary run to run,
-	// because float addition is not associative.
-	seen := map[int32]bool{}
-	var affected []int32
-	var oldCost []float64
-
-	// evalSwap computes the cost delta of swapping (m, posA, posB),
-	// leaving the swap applied; the returned slices (valid until the next
-	// evalSwap) let undo restore posCost.
-	evalSwap := func(m int, posA, posB int32) (float64, []int32, []float64) {
-		for k := range seen {
-			delete(seen, k)
-		}
-		affected = affected[:0]
-		add := func(p int32) {
-			if !seen[p] {
-				seen[p] = true
-				affected = append(affected, p)
-			}
-		}
-		ca, cb := st.cellAt[m][posA], st.cellAt[m][posB]
-		if ca >= 0 {
-			st.affected(m, ca, add)
-		}
-		if cb >= 0 {
-			st.affected(m, cb, add)
-		}
-		add(posA)
-		add(posB)
-		st.doSwap(m, posA, posB)
-		delta := 0.0
-		oldCost = oldCost[:0]
-		for _, p := range affected {
-			oldCost = append(oldCost, st.posCost[p])
-			nc := st.costAt(p, scratch)
-			delta += nc - st.posCost[p]
-			st.posCost[p] = nc
-		}
-		return delta, affected, oldCost
-	}
-	undo := func(m int, posA, posB int32, positions []int32, old []float64) {
-		st.doSwap(m, posA, posB)
-		for i, p := range positions {
-			st.posCost[p] = old[i]
-		}
-	}
-
-	pick := func(rlim float64) (int, int32, int32, bool) {
-		m := rng.Intn(len(st.modes))
-		mi := st.modes[m]
-		if mi.numCells() == 0 {
-			return 0, 0, 0, false
-		}
-		c := int32(rng.Intn(mi.numCells()))
-		posA := st.posOf[m][c]
-		var posB int32
-		if mi.isIO(c) {
-			posB = int32(len(st.clbSites) + rng.Intn(len(st.ioSites)))
-		} else {
-			sa := st.siteAt(posA)
-			r := int(rlim)
-			if r < 1 {
-				r = 1
-			}
-			x := clampInt(sa.X+rng.Intn(2*r+1)-r, 1, a.Width)
-			y := clampInt(sa.Y+rng.Intn(2*r+1)-r, 1, a.Height)
-			posB = int32((y-1)*a.Width + (x - 1))
-		}
-		if posB == posA {
-			return 0, 0, 0, false
-		}
-		return m, posA, posB, true
-	}
-
-	// Initial temperature from a random walk.
-	var deltas []float64
-	for i := 0; i < nCells; i++ {
-		m, posA, posB, ok := pick(float64(span))
-		if !ok {
-			continue
-		}
-		d, _, _ := evalSwap(m, posA, posB)
-		deltas = append(deltas, d)
-	}
-	sigma := stddev(deltas)
-	sch := place.NewSchedule(sigma, span, nCells, opt.Effort)
-
-	nNets := 0
-	for _, mi := range st.modes {
-		for _, s := range mi.sinksOf {
-			if len(s) > 0 {
-				nNets++
-			}
-		}
-	}
-	if nNets == 0 {
-		nNets = 1
-	}
-
-	for {
-		for mv := 0; mv < sch.Moves; mv++ {
-			m, posA, posB, ok := pick(sch.RLim)
-			if !ok {
-				continue
-			}
-			d, positions, old := evalSwap(m, posA, posB)
-			if d <= 0 || rng.Float64() < math.Exp(-d/sch.T) {
-				sch.Record(true)
-			} else {
-				undo(m, posA, posB, positions, old)
-				sch.Record(false)
-			}
-		}
-		if !sch.Next(st.totalCost()/float64(nNets), span) {
-			break
-		}
-	}
-}
-
 // extract converts the final combined placement into an Assignment, a
 // Tunable circuit and per-group sites.
 func extract(name string, modes []*lutnet.Circuit, st *state) (*Result, error) {
@@ -428,25 +474,27 @@ func extract(name string, modes []*lutnet.Circuit, st *state) (*Result, error) {
 		PIGroup:    make([][]int, len(modes)),
 		POGroup:    make([][]int, len(modes)),
 	}
-	lutGroupOf := map[int32]int{} // CLB position -> group
-	padGroupOf := map[int32]int{} // IO position -> group
+	groupOf := make([]int32, st.nPos) // position -> group (lut or pad), -1 unseen
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
 	var lutSites, padSites []arch.Site
 
 	lutGroup := func(pos int32) int {
-		if g, ok := lutGroupOf[pos]; ok {
-			return g
+		if g := groupOf[pos]; g >= 0 {
+			return int(g)
 		}
 		g := len(lutSites)
-		lutGroupOf[pos] = g
+		groupOf[pos] = int32(g)
 		lutSites = append(lutSites, st.siteAt(pos))
 		return g
 	}
 	padGroup := func(pos int32) int {
-		if g, ok := padGroupOf[pos]; ok {
-			return g
+		if g := groupOf[pos]; g >= 0 {
+			return int(g)
 		}
 		g := len(padSites)
-		padGroupOf[pos] = g
+		groupOf[pos] = int32(g)
 		padSites = append(padSites, st.siteAt(pos))
 		return g
 	}
@@ -485,30 +533,4 @@ func extract(name string, modes []*lutnet.Circuit, st *state) (*Result, error) {
 		res.TotalModeConns += n
 	}
 	return res, nil
-}
-
-func clampInt(v, lo, hi int) int {
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
-}
-
-func stddev(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 1
-	}
-	mean := 0.0
-	for _, x := range xs {
-		mean += x
-	}
-	mean /= float64(len(xs))
-	v := 0.0
-	for _, x := range xs {
-		v += (x - mean) * (x - mean)
-	}
-	return math.Sqrt(v / float64(len(xs)))
 }

@@ -88,9 +88,8 @@ func repairPins(st *state, a arch.Arch) {
 
 	// Repair moved cells around: refresh the cached per-position costs so
 	// any later consumer of the state sees consistent numbers.
-	scratch := map[int32]bool{}
 	for p := int32(0); int(p) < st.nPos; p++ {
-		st.posCost[p] = st.costAt(p, scratch)
+		st.posCost[p] = st.costAt(p)
 	}
 }
 

@@ -1,9 +1,21 @@
-// Package place implements a VPR-style wirelength-driven simulated-
-// annealing placer for island FPGAs: half-perimeter bounding-box cost with
-// the q(n) pin-count correction, an adaptive temperature schedule, and
-// range-limited swap moves. The same engine places ordinary mapped
-// circuits (the MDR flow), and Tunable circuits after merging (TPlace) —
-// both reduce to the generic cell/net Problem below.
+// Package place implements a VPR-style wirelength-driven placer for
+// island FPGAs: half-perimeter bounding-box cost with the q(n) pin-count
+// correction and range-limited swap moves, driven by the shared
+// simulated-annealing kernel in internal/anneal. The same engine places
+// ordinary mapped circuits (the MDR flow), and Tunable circuits after
+// merging (TPlace) — both reduce to the generic cell/net Problem below.
+//
+// The cost model is incremental and two-tier. Nets above smallNetPins
+// carry a bounding box with per-edge occupancy counters, maintained in
+// O(1) amortised per move — a full per-pin rescan happens only when a
+// move vacates a box edge (recompute-on-shrink). That turns the
+// high-fanout broadcast nets of the paper's workloads (a regex engine's
+// char-match nets reach >150 pins) from a per-move rescan into a
+// constant-time update. Small nets skip the counter upkeep — a few-pin
+// min/max scan over the flat per-cell coordinate arrays is cheaper than
+// maintaining, snapshotting and restoring counters, and on an island
+// grid such nets have a lone cell on most box edges anyway, which would
+// degenerate the counters into rescans.
 package place
 
 import (
@@ -11,6 +23,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/anneal"
 	"repro/internal/arch"
 )
 
@@ -123,7 +136,14 @@ func Place(p *Problem, a arch.Arch, opt Options) (*Placement, error) {
 	if err != nil {
 		return nil, err
 	}
-	anneal(st, a, opt, rng)
+	anneal.Run(st, anneal.Config{
+		Effort:             opt.Effort,
+		Span:               a.Width + a.Height,
+		Cells:              len(p.Cells),
+		Nets:               len(p.Nets),
+		Refine:             opt.Init != nil,
+		RefineTempFraction: opt.RefineTempFraction,
+	}, rng)
 
 	pl := &Placement{SiteOf: make([]arch.Site, len(p.Cells))}
 	for c := range p.Cells {
@@ -133,38 +153,77 @@ func Place(p *Problem, a arch.Arch, opt Options) (*Placement, error) {
 	return pl, nil
 }
 
-// state holds occupancy and incremental cost bookkeeping. Site positions
-// are flattened: CLB sites first, then IO sites.
+// netBox is a net's bounding box with per-edge occupancy counters: how
+// many of the net's cells sit on each extreme coordinate. A move off an
+// edge with counter 1 invalidates that edge and triggers a full rescan of
+// the net; every other move updates the box in O(1).
+type netBox struct {
+	minX, maxX, minY, maxY     int32
+	nMinX, nMaxX, nMinY, nMaxY int32
+}
+
+// state holds occupancy and incremental cost bookkeeping, and implements
+// anneal.Mover. Site positions are flattened: CLB sites first, then IO
+// sites.
 type state struct {
 	p        *Problem
 	clbSites []arch.Site
 	ioSites  []arch.Site
-	posOf    []int // cell -> position
-	cellAt   []int // position -> cell (-1 empty)
+	posX     []int32 // position -> site coordinates, flattened for hot scans
+	posY     []int32
+	cellX    []int32 // cell -> current coordinates, updated on every swap:
+	cellY    []int32 // net scans read these directly, one load per axis
+	posOf    []int   // cell -> position
+	cellAt   []int   // position -> cell (-1 empty)
 	netsOf   [][]int
+	w, h     int       // CLB grid extent
+	wq       []float64 // per-net weight * QFactor (constant)
+	small    []bool    // per-net: few pins, rescan beats counter upkeep
+	boxes    []netBox  // large nets only; small nets never store a box
 	netCost  []float64
 	// Swap-evaluation scratch, reused across moves: netSeen dedups the
 	// affected-net list, netsBuf holds it, oldCost (parallel to netsBuf)
-	// the pre-move costs undoSwap restores. A deterministic (insertion-
-	// ordered) list matters beyond speed — summing the cost delta in map
+	// the pre-move costs Undo restores; largeBuf/oldBox snapshot the
+	// boxes of affected large nets. A deterministic (insertion-ordered)
+	// list matters beyond speed — summing the cost delta in map
 	// iteration order would make annealing outcomes vary run to run,
 	// because float addition is not associative.
-	netSeen []bool
-	netsBuf []int
-	oldCost []float64
+	nLarge    int // number of nets above smallNetPins
+	netSeen   []bool
+	largeSeen []bool
+	netsBuf   []int
+	oldCost   []float64
+	largeBuf  []int
+	oldBox    []netBox
+	// Pending move for anneal.Mover (set by TryMove, used by Undo).
+	mvA, mvB int
 }
 
 func newState(p *Problem, clbSites, ioSites []arch.Site, rng *rand.Rand, init []arch.Site) (*state, error) {
 	st := &state{
-		p:        p,
-		clbSites: clbSites,
-		ioSites:  ioSites,
-		posOf:    make([]int, len(p.Cells)),
-		cellAt:   make([]int, len(clbSites)+len(ioSites)),
-		netsOf:   make([][]int, len(p.Cells)),
-		netCost:  make([]float64, len(p.Nets)),
-		netSeen:  make([]bool, len(p.Nets)),
+		p:         p,
+		clbSites:  clbSites,
+		ioSites:   ioSites,
+		posOf:     make([]int, len(p.Cells)),
+		cellAt:    make([]int, len(clbSites)+len(ioSites)),
+		netsOf:    make([][]int, len(p.Cells)),
+		wq:        make([]float64, len(p.Nets)),
+		small:     make([]bool, len(p.Nets)),
+		boxes:     make([]netBox, len(p.Nets)),
+		netCost:   make([]float64, len(p.Nets)),
+		netSeen:   make([]bool, len(p.Nets)),
+		largeSeen: make([]bool, len(p.Nets)),
 	}
+	st.posX = make([]int32, len(st.cellAt))
+	st.posY = make([]int32, len(st.cellAt))
+	for pos := range st.cellAt {
+		s := st.siteAt(pos)
+		st.posX[pos], st.posY[pos] = int32(s.X), int32(s.Y)
+	}
+	last := clbSites[len(clbSites)-1]
+	st.w, st.h = last.X, last.Y
+	st.cellX = make([]int32, len(p.Cells))
+	st.cellY = make([]int32, len(p.Cells))
 	for i := range st.cellAt {
 		st.cellAt[i] = -1
 	}
@@ -211,7 +270,19 @@ func newState(p *Problem, clbSites, ioSites []arch.Site, rng *rand.Rand, init []
 		for _, c := range n.Cells {
 			st.netsOf[c] = append(st.netsOf[c], ni)
 		}
-		st.netCost[ni] = st.costOf(ni)
+		w := n.Weight
+		if w == 0 {
+			w = 1
+		}
+		st.wq[ni] = w * QFactor(len(n.Cells))
+		st.small[ni] = len(n.Cells) <= smallNetPins
+		if st.small[ni] {
+			st.netCost[ni] = st.scanCost(ni)
+		} else {
+			st.nLarge++
+			st.boxes[ni] = st.computeBox(ni)
+			st.netCost[ni] = st.boxCost(ni)
+		}
 	}
 	return st, nil
 }
@@ -219,6 +290,7 @@ func newState(p *Problem, clbSites, ioSites []arch.Site, rng *rand.Rand, init []
 func (st *state) place(c, pos int) {
 	st.posOf[c] = pos
 	st.cellAt[pos] = c
+	st.cellX[c], st.cellY[c] = st.posX[pos], st.posY[pos]
 }
 
 func (st *state) siteAt(pos int) arch.Site {
@@ -233,13 +305,160 @@ func (st *state) loc(c int) (int, int) {
 	return s.X, s.Y
 }
 
-func (st *state) costOf(ni int) float64 {
-	n := st.p.Nets[ni]
-	w := n.Weight
-	if w == 0 {
-		w = 1
+// smallNetPins is the pin count below which a direct min/max rescan is
+// cheaper than maintaining edge counters (VPR's SMALL_NET idea): on an
+// island grid a net this size usually has a lone cell on each box edge,
+// so the counter scheme degenerates into shrink-rescans anyway and only
+// its bookkeeping overhead remains. Small nets therefore never store a
+// box at all — their cost is recomputed by scanCost on every affected
+// move — while larger nets amortise real O(1) updates.
+const smallNetPins = 10
+
+// scanCost recomputes a small net's cost with a plain min/max scan over
+// its pins, reading nothing but the flat coordinate arrays.
+func (st *state) scanCost(ni int) float64 {
+	cells := st.p.Nets[ni].Cells
+	if len(cells) == 0 {
+		return 0
 	}
-	return HPWL(n.Cells, w, st.loc)
+	cellX, cellY := st.cellX, st.cellY
+	c0 := cells[0]
+	minX, maxX := cellX[c0], cellX[c0]
+	minY, maxY := cellY[c0], cellY[c0]
+	for _, c := range cells[1:] {
+		x, y := cellX[c], cellY[c]
+		if x < minX {
+			minX = x
+		} else if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		} else if y > maxY {
+			maxY = y
+		}
+	}
+	return st.wq[ni] * float64((maxX-minX)+(maxY-minY))
+}
+
+// computeBox scans every pin of a large net, rebuilding its box and edge
+// counters — used at initialisation and as the fallback when an
+// incremental update vacates a box edge. Small nets never have a box:
+// their cost comes from scanCost.
+func (st *state) computeBox(ni int) netBox {
+	cells := st.p.Nets[ni].Cells
+	if len(cells) == 0 {
+		return netBox{}
+	}
+	var b netBox
+	b.minX, b.minY = math.MaxInt32, math.MaxInt32
+	b.maxX, b.maxY = math.MinInt32, math.MinInt32
+	for _, c := range cells {
+		xx, yy := st.cellX[c], st.cellY[c]
+		switch {
+		case xx < b.minX:
+			b.minX, b.nMinX = xx, 1
+		case xx == b.minX:
+			b.nMinX++
+		}
+		switch {
+		case xx > b.maxX:
+			b.maxX, b.nMaxX = xx, 1
+		case xx == b.maxX:
+			b.nMaxX++
+		}
+		switch {
+		case yy < b.minY:
+			b.minY, b.nMinY = yy, 1
+		case yy == b.minY:
+			b.nMinY++
+		}
+		switch {
+		case yy > b.maxY:
+			b.maxY, b.nMaxY = yy, 1
+		case yy == b.maxY:
+			b.nMaxY++
+		}
+	}
+	return b
+}
+
+// boxCost reads net ni's cost off its maintained bounding box.
+func (st *state) boxCost(ni int) float64 {
+	b := &st.boxes[ni]
+	if b.nMinX == 0 {
+		return 0 // empty net
+	}
+	return st.wq[ni] * float64((b.maxX-b.minX)+(b.maxY-b.minY))
+}
+
+// updateBox moves one of net ni's cells from (ox,oy) to (nx,ny),
+// maintaining the box and its edge counters. Growth and interior moves
+// are O(1); vacating an edge (its counter reaching zero) falls back to a
+// computeBox rescan, which requires posOf to already hold the moved
+// cell's new position.
+func (st *state) updateBox(ni int, ox, oy, nx, ny int32) {
+	b := &st.boxes[ni]
+	rescan := false
+	if nx != ox {
+		switch {
+		case nx < b.minX:
+			b.minX, b.nMinX = nx, 1
+		case nx == b.minX:
+			b.nMinX++
+		}
+		switch {
+		case nx > b.maxX:
+			b.maxX, b.nMaxX = nx, 1
+		case nx == b.maxX:
+			b.nMaxX++
+		}
+		if ox == b.minX {
+			if b.nMinX > 1 {
+				b.nMinX--
+			} else {
+				rescan = true
+			}
+		}
+		if ox == b.maxX {
+			if b.nMaxX > 1 {
+				b.nMaxX--
+			} else {
+				rescan = true
+			}
+		}
+	}
+	if ny != oy && !rescan {
+		switch {
+		case ny < b.minY:
+			b.minY, b.nMinY = ny, 1
+		case ny == b.minY:
+			b.nMinY++
+		}
+		switch {
+		case ny > b.maxY:
+			b.maxY, b.nMaxY = ny, 1
+		case ny == b.maxY:
+			b.nMaxY++
+		}
+		if oy == b.minY {
+			if b.nMinY > 1 {
+				b.nMinY--
+			} else {
+				rescan = true
+			}
+		}
+		if oy == b.maxY {
+			if b.nMaxY > 1 {
+				b.nMaxY--
+			} else {
+				rescan = true
+			}
+		}
+	}
+	if rescan {
+		st.boxes[ni] = st.computeBox(ni)
+	}
 }
 
 func (st *state) totalCost() float64 {
@@ -250,187 +469,144 @@ func (st *state) totalCost() float64 {
 	return t
 }
 
-// swapDelta swaps the contents of two positions (either may be empty),
-// updates netCost for the affected nets, and returns the cost delta along
-// with the affected-net list (valid until the next swapDelta call). The
-// move is left applied: an accepted move needs nothing further, a rejected
-// one is reverted with undoSwap. The affected list is built in
-// deterministic insertion order and allocation-free via the state's
-// scratch buffers.
-func (st *state) swapDelta(posA, posB int) (float64, []int) {
+// applySwap swaps the contents of two positions (either may be empty),
+// updates the boxes and netCost of the affected nets, and returns the
+// cost delta. The move is left applied: an accepted move needs nothing
+// further, a rejected one is reverted with undoSwap. The affected list is
+// built in deterministic insertion order and allocation-free via the
+// state's scratch buffers.
+func (st *state) applySwap(posA, posB int) float64 {
 	ca, cb := st.cellAt[posA], st.cellAt[posB]
 	nets := st.netsBuf[:0]
-	add := func(c int) {
-		for _, ni := range st.netsOf[c] {
-			if !st.netSeen[ni] {
-				st.netSeen[ni] = true
+	largeBuf := st.largeBuf[:0]
+	oldBox := st.oldBox[:0]
+	// Dedup the affected-net list; the netSeen marks are cleared in the
+	// cost pass.
+	netSeen := st.netSeen
+	if ca >= 0 {
+		for _, ni := range st.netsOf[ca] {
+			if !netSeen[ni] {
+				netSeen[ni] = true
 				nets = append(nets, ni)
 			}
 		}
 	}
-	if ca >= 0 {
-		add(ca)
-	}
 	if cb >= 0 {
-		add(cb)
+		for _, ni := range st.netsOf[cb] {
+			if !netSeen[ni] {
+				netSeen[ni] = true
+				nets = append(nets, ni)
+			}
+		}
 	}
-	// Apply move.
+	// Apply the move one cell at a time: a shrink rescan triggered by
+	// cell A's update must see A at its new position and B still at its
+	// old one. Small nets skip the counter upkeep entirely — their cost
+	// is rescanned in the pass below, after both cells moved — so when
+	// the state has no large net the update loops vanish. A large net
+	// touched by both cells is snapshotted once (largeSeen) and updated
+	// twice.
+	ax, ay := st.posX[posA], st.posY[posA]
+	bx, by := st.posX[posB], st.posY[posB]
 	st.cellAt[posA], st.cellAt[posB] = cb, ca
 	if ca >= 0 {
 		st.posOf[ca] = posB
+		st.cellX[ca], st.cellY[ca] = bx, by
+		if st.nLarge > 0 {
+			for _, ni := range st.netsOf[ca] {
+				if !st.small[ni] {
+					if !st.largeSeen[ni] {
+						st.largeSeen[ni] = true
+						largeBuf = append(largeBuf, ni)
+						oldBox = append(oldBox, st.boxes[ni])
+					}
+					st.updateBox(ni, ax, ay, bx, by)
+				}
+			}
+		}
 	}
 	if cb >= 0 {
 		st.posOf[cb] = posA
+		st.cellX[cb], st.cellY[cb] = ax, ay
+		if st.nLarge > 0 {
+			for _, ni := range st.netsOf[cb] {
+				if !st.small[ni] {
+					if !st.largeSeen[ni] {
+						st.largeSeen[ni] = true
+						largeBuf = append(largeBuf, ni)
+						oldBox = append(oldBox, st.boxes[ni])
+					}
+					st.updateBox(ni, bx, by, ax, ay)
+				}
+			}
+		}
 	}
+	for _, ni := range largeBuf {
+		st.largeSeen[ni] = false
+	}
+	// Cost pass: snapshot the pre-move cost (for Undo) and accumulate the
+	// delta in the deterministic dedup order.
+	oldCost := st.oldCost[:0]
 	delta := 0.0
-	st.oldCost = st.oldCost[:0]
 	for _, ni := range nets {
-		st.netSeen[ni] = false
-		nc := st.costOf(ni)
-		st.oldCost = append(st.oldCost, st.netCost[ni])
-		delta += nc - st.netCost[ni]
+		netSeen[ni] = false
+		var nc float64
+		if st.small[ni] {
+			nc = st.scanCost(ni)
+		} else {
+			nc = st.boxCost(ni)
+		}
+		old := st.netCost[ni]
+		oldCost = append(oldCost, old)
+		delta += nc - old
 		st.netCost[ni] = nc
 	}
-	st.netsBuf = nets
-	return delta, nets
+	st.netsBuf, st.oldCost = nets, oldCost
+	st.largeBuf, st.oldBox = largeBuf, oldBox
+	return delta
 }
 
-// undoSwap reverts the last swapDelta: the swap itself and the netCost
-// entries of its affected nets (nets must be swapDelta's return value).
-func (st *state) undoSwap(posA, posB int, nets []int) {
+// undoSwap reverts the last applySwap: the swap itself, the netCost
+// entries of its affected nets, and the boxes of the large ones.
+func (st *state) undoSwap(posA, posB int) {
 	ca, cb := st.cellAt[posA], st.cellAt[posB]
 	st.cellAt[posA], st.cellAt[posB] = cb, ca
 	if ca >= 0 {
 		st.posOf[ca] = posB
+		st.cellX[ca], st.cellY[ca] = st.posX[posB], st.posY[posB]
 	}
 	if cb >= 0 {
 		st.posOf[cb] = posA
+		st.cellX[cb], st.cellY[cb] = st.posX[posA], st.posY[posA]
 	}
-	for i, ni := range nets {
+	for i, ni := range st.netsBuf {
 		st.netCost[ni] = st.oldCost[i]
 	}
-}
-
-// Schedule holds the adaptive annealing parameters shared with the
-// combined placer in package merge.
-type Schedule struct {
-	T      float64
-	RLim   float64
-	Moves  int
-	accept int
-	tried  int
-}
-
-// NewSchedule seeds the schedule from an initial cost standard deviation
-// (VPR: T0 = 20 σ) and the device span.
-func NewSchedule(sigma float64, span int, nCells int, effort float64) *Schedule {
-	t0 := 20 * sigma
-	if t0 <= 0 {
-		t0 = 1
-	}
-	moves := int(effort * 10 * math.Pow(float64(nCells), 4.0/3.0))
-	if moves < 64 {
-		moves = 64
-	}
-	return &Schedule{T: t0, RLim: float64(span), Moves: moves}
-}
-
-// Record notes one attempted move and whether it was accepted.
-func (s *Schedule) Record(accepted bool) {
-	s.tried++
-	if accepted {
-		s.accept++
+	for i, ni := range st.largeBuf {
+		st.boxes[ni] = st.oldBox[i]
 	}
 }
 
-// Next advances the temperature and range limit after one round of moves,
-// reporting whether annealing should continue given the current
-// cost-per-net scale.
-func (s *Schedule) Next(costPerNet float64, span int) bool {
-	alphaAccept := 0.0
-	if s.tried > 0 {
-		alphaAccept = float64(s.accept) / float64(s.tried)
+// TryMove implements anneal.Mover: propose a range-limited swap and apply
+// it, returning its incremental cost delta.
+func (st *state) TryMove(rng *rand.Rand, rlim float64) (float64, bool) {
+	posA, posB, ok := st.pickMove(rng, rlim)
+	if !ok {
+		return 0, false
 	}
-	var gamma float64
-	switch {
-	case alphaAccept > 0.96:
-		gamma = 0.5
-	case alphaAccept > 0.8:
-		gamma = 0.9
-	case alphaAccept > 0.15:
-		gamma = 0.95
-	default:
-		gamma = 0.8
-	}
-	s.T *= gamma
-	// Range limit tracks 44% acceptance (Lam/VPR).
-	s.RLim *= 1 - 0.44 + alphaAccept
-	if s.RLim < 1 {
-		s.RLim = 1
-	}
-	if s.RLim > float64(span) {
-		s.RLim = float64(span)
-	}
-	s.accept, s.tried = 0, 0
-	return s.T >= 0.005*costPerNet
+	st.mvA, st.mvB = posA, posB
+	return st.applySwap(posA, posB), true
 }
 
-func anneal(st *state, a arch.Arch, opt Options, rng *rand.Rand) {
-	nCells := len(st.p.Cells)
-	if nCells == 0 || len(st.p.Nets) == 0 {
-		return
-	}
-	span := a.Width + a.Height
+// Undo implements anneal.Mover.
+func (st *state) Undo() { st.undoSwap(st.mvA, st.mvB) }
 
-	// Estimate initial temperature from probed (and undone) swap deltas.
-	var deltas []float64
-	for i := 0; i < nCells; i++ {
-		posA, posB, ok := pickMove(st, rng, float64(span))
-		if !ok {
-			continue
-		}
-		d, nets := st.swapDelta(posA, posB)
-		deltas = append(deltas, d)
-		st.undoSwap(posA, posB, nets)
-	}
-	sigma := stddev(deltas)
-	sch := NewSchedule(sigma, span, nCells, opt.Effort)
-	if opt.Init != nil {
-		frac := opt.RefineTempFraction
-		if frac <= 0 {
-			frac = 0.1
-		}
-		sch.T *= frac
-		sch.RLim = float64(span) / 4
-		if sch.RLim < 1 {
-			sch.RLim = 1
-		}
-	}
-
-	for {
-		for m := 0; m < sch.Moves; m++ {
-			posA, posB, ok := pickMove(st, rng, sch.RLim)
-			if !ok {
-				continue
-			}
-			d, nets := st.swapDelta(posA, posB)
-			if d <= 0 || rng.Float64() < math.Exp(-d/sch.T) {
-				sch.Record(true)
-			} else {
-				st.undoSwap(posA, posB, nets)
-				sch.Record(false)
-			}
-		}
-		costPerNet := st.totalCost() / float64(len(st.p.Nets))
-		if !sch.Next(costPerNet, span) {
-			break
-		}
-	}
-}
+// Cost implements anneal.Mover.
+func (st *state) Cost() float64 { return st.totalCost() }
 
 // pickMove selects a random occupied position and a partner position of the
 // same class (CLB or IO) within the range limit.
-func pickMove(st *state, rng *rand.Rand, rlim float64) (int, int, bool) {
+func (st *state) pickMove(rng *rand.Rand, rlim float64) (int, int, bool) {
 	c := rng.Intn(len(st.p.Cells))
 	posA := st.posOf[c]
 	isIO := st.p.Cells[c].IsIO
@@ -444,9 +620,9 @@ func pickMove(st *state, rng *rand.Rand, rlim float64) (int, int, bool) {
 		if r < 1 {
 			r = 1
 		}
-		x := clamp(sa.X+rng.Intn(2*r+1)-r, 1, widthOf(st))
-		y := clamp(sa.Y+rng.Intn(2*r+1)-r, 1, heightOf(st))
-		posB = (y-1)*widthOf(st) + (x - 1)
+		x := anneal.Clamp(sa.X+rng.Intn(2*r+1)-r, 1, st.w)
+		y := anneal.Clamp(sa.Y+rng.Intn(2*r+1)-r, 1, st.h)
+		posB = (y-1)*st.w + (x - 1)
 	}
 	if posB == posA {
 		return 0, 0, false
@@ -456,40 +632,4 @@ func pickMove(st *state, rng *rand.Rand, rlim float64) (int, int, bool) {
 		return 0, 0, false
 	}
 	return posA, posB, true
-}
-
-func widthOf(st *state) int {
-	last := st.clbSites[len(st.clbSites)-1]
-	return last.X
-}
-
-func heightOf(st *state) int {
-	last := st.clbSites[len(st.clbSites)-1]
-	return last.Y
-}
-
-func clamp(v, lo, hi int) int {
-	if v < lo {
-		return lo
-	}
-	if v > hi {
-		return hi
-	}
-	return v
-}
-
-func stddev(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 1
-	}
-	mean := 0.0
-	for _, x := range xs {
-		mean += x
-	}
-	mean /= float64(len(xs))
-	v := 0.0
-	for _, x := range xs {
-		v += (x - mean) * (x - mean)
-	}
-	return math.Sqrt(v / float64(len(xs)))
 }

@@ -9,8 +9,10 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/bitstream"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/route"
+	"repro/internal/store"
 	"repro/internal/synth"
 	"repro/internal/techmap"
 )
@@ -119,6 +122,68 @@ func BenchmarkSweep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// runSweepStore executes the sweep against a cache backed by the artifact
+// store rooted at dir, returning the rendered report and the cache stats.
+func runSweepStore(b *testing.B, suites []*experiments.Suite, dir string) ([]byte, flow.Stats) {
+	b.Helper()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := experiments.Scale{Effort: 0.15, Seed: 1, Cache: flow.NewCacheWithStore(st)}
+	results, err := experiments.RunAll(suites, sc, runtime.GOMAXPROCS(0), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	experiments.WriteFigures(&buf, results)
+	return buf.Bytes(), sc.Cache.Stats()
+}
+
+// BenchmarkSweepStore measures the persistent artifact store under the
+// sweep: the cold path (empty store — full annealing and routing plus the
+// write-back) against the warm path (every group result already stored).
+// Both must render the byte-identical report of the uncached serial
+// baseline — the store, like the in-memory cache, may change only how
+// often work is done — and the warm path must skip placement annealing
+// entirely. The warm sub-benchmark reports the measured cold/warm
+// speed-up (thousands on this workload: the sweep collapses to a handful
+// of store reads).
+func BenchmarkSweepStore(b *testing.B) {
+	suites := sweepSuites(b)
+	baseline := runSweep(b, suites, 1)
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			got, _ := runSweepStore(b, suites, filepath.Join(b.TempDir(), fmt.Sprintf("c%d", i)))
+			if !bytes.Equal(got, baseline) {
+				b.Fatal("cold-store report differs from the uncached baseline")
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		start := time.Now()
+		if got, _ := runSweepStore(b, suites, dir); !bytes.Equal(got, baseline) {
+			b.Fatal("populating run differs from the uncached baseline")
+		}
+		coldDur := time.Since(start)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got, stats := runSweepStore(b, suites, dir)
+			if !bytes.Equal(got, baseline) {
+				b.Fatal("warm-store report differs from the uncached baseline")
+			}
+			if stats.PlaceAnneals != 0 {
+				b.Fatalf("warm sweep annealed %d placements, want 0", stats.PlaceAnneals)
+			}
+		}
+		warmPer := b.Elapsed() / time.Duration(b.N)
+		if warmPer > 0 {
+			b.ReportMetric(float64(coldDur)/float64(warmPer), "cold/warm-speedup-x")
+		}
+	})
 }
 
 // BenchmarkTable1SuiteGeneration regenerates Table I: the three benchmark

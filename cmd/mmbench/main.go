@@ -12,7 +12,13 @@
 //
 // Usage:
 //
-//	mmbench -exp all|table1|fig5|fig6|fig7|area|ablation|frames|multi [-j 8] [-groups 4] [-effort 0.4] [-seed 1] [-full]
+//	mmbench -exp all|table1|fig5|fig6|fig7|area|ablation|frames|multi [-j 8] [-groups 4]
+//	        [-effort 0.4] [-seed 1] [-full] [-cachedir DIR] [-cachemb MB]
+//
+// With -cachedir the sweep runs against a persistent content-addressed
+// artifact store: a warm re-run renders the byte-identical report while
+// skipping every annealing and routing step, and the end-of-run cache
+// summary on stderr shows exactly what was reused.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/flow"
+	"repro/internal/store"
 )
 
 func main() {
@@ -36,6 +43,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	full := flag.Bool("full", false, "paper-scale run (all 30 groups, effort 0.5)")
 	verbose := flag.Bool("v", false, "print per-group details")
+	cachedir := flag.String("cachedir", "", "persistent artifact-store directory: placements and whole group results survive the process, so a re-run of the same sweep skips all annealing and routing")
+	cachemb := flag.Int64("cachemb", 0, "artifact-store size cap in MiB (0: uncapped)")
 	flag.Parse()
 
 	sc := experiments.Scale{GroupsPerSuite: *groups, Effort: *effort, Seed: *seed}
@@ -56,8 +65,23 @@ func main() {
 		})
 	}
 	// One cache for the whole invocation: the figure sweep, the area pass
-	// and the ablations reuse each other's graphs and placements.
-	sc.Cache = flow.NewCache()
+	// and the ablations reuse each other's graphs and placements. With
+	// -cachedir the cache gains a persistent tier — the second identical
+	// invocation serves every group result straight from the store.
+	if *cachedir != "" {
+		st, err := store.Open(*cachedir, *cachemb<<20)
+		if err != nil {
+			fatal(err)
+		}
+		sc.Cache = flow.NewCacheWithStore(st)
+	} else {
+		sc.Cache = flow.NewCache()
+	}
+	// The traffic summary lands on stderr so report output stays
+	// byte-identical whether or not anyone is watching the cache.
+	defer func() {
+		fmt.Fprintf(os.Stderr, "# cache: %s\n", sc.Cache.Stats())
+	}()
 
 	start := time.Now()
 

@@ -9,79 +9,32 @@
 // emits the full result (or the failure) as machine-readable JSON on
 // stdout.
 //
+// The compilation itself is internal/service's Compile — the same engine
+// mmserved exposes over HTTP. -remote URL submits the modes to a running
+// mmserved instead of compiling locally (same request, same response
+// schema), and -cachedir backs the local run with a persistent artifact
+// store so placements computed today are reused tomorrow.
+//
 // Usage:
 //
-//	mmflow [-k 4] [-effort 0.5] [-refinefrac 0.1] [-seed 1] [-objective wire|edge] [-json] mode1.blif mode2.blif [...]
+//	mmflow [-k 4] [-effort 0.5] [-refinefrac 0.1] [-seed 1] [-objective wire|edge]
+//	       [-json] [-cachedir DIR] [-remote http://host:8433] mode1.blif mode2.blif [...]
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/flow"
-	"repro/internal/merge"
-	"repro/internal/mode"
-	"repro/internal/netlist"
+	"repro/internal/service"
+	"repro/internal/store"
 )
-
-// output is the -json document. Error is set (and every other field
-// possibly partial) when the flow fails; the process then exits non-zero.
-type output struct {
-	Error string     `json:"error,omitempty"`
-	Modes []modeInfo `json:"modes,omitempty"`
-
-	Region *regionInfo `json:"region,omitempty"`
-	MDR    *mdrInfo    `json:"mdr,omitempty"`
-	DCS    *dcsInfo    `json:"dcs,omitempty"`
-
-	SpeedupVsMDR float64 `json:"speedup_vs_mdr,omitempty"`
-	WireVsMDR    float64 `json:"wire_vs_mdr,omitempty"`
-
-	// Switch-cost matrices: bits rewritten per mode transition
-	// (row = from, column = to).
-	SwitchCost *switchInfo `json:"switch_cost,omitempty"`
-}
-
-type modeInfo struct {
-	Name string `json:"name"`
-	LUTs int    `json:"luts"`
-	FFs  int    `json:"ffs"`
-	PIs  int    `json:"pis"`
-	POs  int    `json:"pos"`
-}
-
-type regionInfo struct {
-	Side        int `json:"side"`
-	ChannelW    int `json:"channel_width"`
-	MinW        int `json:"min_channel_width"`
-	RoutingBits int `json:"routing_bits"`
-	LUTBits     int `json:"lut_bits"`
-}
-
-type mdrInfo struct {
-	ReconfigBits int     `json:"reconfig_bits"`
-	AvgWire      float64 `json:"avg_wire"`
-}
-
-type dcsInfo struct {
-	Objective        string  `json:"objective"`
-	TLUTs            int     `json:"tluts"`
-	Conns            int     `json:"tunable_connections"`
-	SharedConns      int     `json:"shared_connections"`
-	ReconfigBits     int     `json:"reconfig_bits"`
-	ParamRoutingBits int     `json:"param_routing_bits"`
-	AvgWire          float64 `json:"avg_wire"`
-}
-
-type switchInfo struct {
-	MDRFull  flow.SwitchMatrix `json:"mdr_full"`
-	MDRDiff  flow.SwitchMatrix `json:"mdr_diff,omitempty"`
-	DCS      flow.SwitchMatrix `json:"dcs"`
-	DCSAvg   float64           `json:"dcs_avg"`
-	DCSWorst int               `json:"dcs_worst"`
-}
 
 func main() {
 	k := flag.Int("k", 4, "LUT inputs")
@@ -90,7 +43,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	objective := flag.String("objective", "wire", "combined-placement objective: wire or edge")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout")
-	verbose := flag.Bool("v", false, "print per-connection activation functions")
+	verbose := flag.Bool("v", false, "print per-connection activation functions (local runs only)")
+	cachedir := flag.String("cachedir", "", "persistent artifact-store directory for placements (local runs)")
+	remote := flag.String("remote", "", "delegate compilation to a running mmserved (e.g. http://localhost:8433)")
 	flag.Parse()
 
 	if flag.NArg() < 2 {
@@ -98,135 +53,151 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	obj := merge.WireLength
-	if *objective == "edge" {
-		obj = merge.EdgeMatch
-	}
 
-	var out output
-	fail := func(err error) {
-		if *jsonOut {
-			out.Error = err.Error()
-			emit(&out)
-		} else {
-			fmt.Fprintln(os.Stderr, "mmflow:", err)
-		}
-		os.Exit(1)
+	req := &service.CompileRequest{
+		K: *k, Effort: *effort, RefineFrac: *refineFrac, Seed: *seed, Objective: *objective,
 	}
-
-	var nls []*netlist.Netlist
 	for _, path := range flag.Args() {
-		f, err := os.Open(path)
+		text, err := os.ReadFile(path)
 		if err != nil {
-			fail(err)
+			fail(*jsonOut, nil, err)
 		}
-		n, err := netlist.ReadBLIF(f)
-		f.Close()
-		if err != nil {
-			fail(fmt.Errorf("%s: %w", path, err))
-		}
-		nls = append(nls, n)
+		req.Modes = append(req.Modes, service.Mode{BLIF: string(text)})
 	}
 
-	cfg := flow.Config{K: *k, PlaceEffort: *effort, RefineTempFraction: *refineFrac, Seed: *seed}
-	mapped, err := flow.MapModes(nls, cfg)
-	if err != nil {
-		fail(err)
-	}
-	for i, c := range mapped {
-		out.Modes = append(out.Modes, modeInfo{
-			Name: c.Name, LUTs: c.NumBlocks(), FFs: c.NumFFs(), PIs: c.NumPIs(), POs: len(c.POs),
-		})
-		if !*jsonOut {
-			fmt.Printf("mode %d (%s): %d LUTs, %d FFs, %d PIs, %d POs\n",
-				i, c.Name, c.NumBlocks(), c.NumFFs(), c.NumPIs(), len(c.POs))
-		}
-	}
-
-	// A mode that cannot be placed and routed anywhere makes RunComparison
-	// fail; that is the smoke-test condition this command reports with a
-	// non-zero exit.
-	cmp, err := flow.RunComparison("multimode", mapped, cfg)
-	if err != nil {
-		fail(fmt.Errorf("mode set does not route: %w", err))
-	}
-	region, mdr := cmp.Region, cmp.MDR
-	dcs := cmp.WireLen
-	if obj == merge.EdgeMatch {
-		dcs = cmp.EdgeMatch
-	}
-	st := dcs.Merge.Tunable.Stats()
-	n := len(mapped)
-
-	out.Region = &regionInfo{
-		Side: region.Arch.Width, ChannelW: region.Arch.W, MinW: region.MinW,
-		RoutingBits: region.Graph.NumRoutingBits, LUTBits: region.Arch.TotalLUTBits(),
-	}
-	out.MDR = &mdrInfo{ReconfigBits: mdr.ReconfigBits, AvgWire: mdr.AvgWire}
-	out.DCS = &dcsInfo{
-		Objective: fmt.Sprint(obj), TLUTs: st.NumTLUTs, Conns: st.NumConns, SharedConns: st.SharedConns,
-		ReconfigBits: dcs.ReconfigBits, ParamRoutingBits: dcs.TRoute.ParamRoutingBits, AvgWire: dcs.AvgWire,
-	}
-	out.SpeedupVsMDR = flow.Speedup(mdr, dcs)
-	out.WireVsMDR = flow.WireRatio(mdr, dcs)
-
-	sw := &switchInfo{
-		MDRFull: flow.MDRSwitchMatrix(region, n),
-		DCS:     flow.DCSSwitchMatrix(region.Arch, dcs.TRoute, n),
-	}
-	if diff, err := flow.MDRDiffSwitchMatrix(region, mapped, mdr); err == nil {
-		sw.MDRDiff = diff
+	var res *service.Result
+	var cmp *flow.Comparison
+	var err error
+	if *remote != "" {
+		res, err = compileRemote(*remote, req)
 	} else {
-		// stderr in both modes: the JSON document lives on stdout, and a
-		// silently missing mdr_diff would be indistinguishable from a
-		// schema change for the consumer.
-		fmt.Fprintf(os.Stderr, "mmflow: diff switch matrix unavailable: %v\n", err)
+		cache := flow.NewCache()
+		if *cachedir != "" {
+			st, serr := store.Open(*cachedir, 0)
+			if serr != nil {
+				fail(*jsonOut, nil, serr)
+			}
+			cache = flow.NewCacheWithStore(st)
+		}
+		res, cmp, err = service.Compile(req, cache)
 	}
-	sw.DCSAvg = sw.DCS.Avg()
-	_, _, sw.DCSWorst = sw.DCS.Worst()
-	out.SwitchCost = sw
+	if err != nil {
+		fail(*jsonOut, res, err)
+	}
 
 	if *jsonOut {
-		emit(&out)
+		emit(res)
 		return
 	}
-
-	fmt.Printf("region: %dx%d CLBs, channel width %d (min %d), %d routing bits, %d LUT bits\n",
-		region.Arch.Width, region.Arch.Height, region.Arch.W, region.MinW,
-		region.Graph.NumRoutingBits, region.Arch.TotalLUTBits())
-	fmt.Printf("MDR: reconfig %d bits (whole region), avg mode wirelength %.0f segments\n",
-		mdr.ReconfigBits, mdr.AvgWire)
-	fmt.Printf("DCS (%s): %d TLUTs, %d tunable connections (%d shared across all modes)\n",
-		obj, st.NumTLUTs, st.NumConns, st.SharedConns)
-	fmt.Printf("DCS: reconfig %d bits (%d LUT + %d parameterised routing), avg mode wirelength %.0f\n",
-		dcs.ReconfigBits, region.Arch.TotalLUTBits(), dcs.TRoute.ParamRoutingBits, dcs.AvgWire)
-	fmt.Printf("speed-up vs MDR: %.2fx   wirelength vs MDR: %.0f%%\n",
-		flow.Speedup(mdr, dcs), 100*flow.WireRatio(mdr, dcs))
-	printMatrix := func(label string, m flow.SwitchMatrix) {
-		if m == nil {
-			return
-		}
-		from, to, worst := m.Worst()
-		fmt.Printf("%s switch cost: avg %.1f bits, worst %d (%d->%d)\n", label, m.Avg(), worst, from, to)
-		m.FprintRows(os.Stdout, "  ")
-	}
-	printMatrix("MDR diff", sw.MDRDiff)
-	printMatrix("DCS", sw.DCS)
-
+	render(res)
 	if *verbose {
-		fmt.Println("tunable connections:")
-		nm := dcs.Merge.Tunable.NumModes
-		for _, cn := range dcs.Merge.Tunable.Conns {
-			fmt.Printf("  %v -> %v  activation %s\n", cn.Src, cn.Dst, cn.Act.Expression(nm))
+		if cmp == nil {
+			fmt.Fprintln(os.Stderr, "mmflow: -v needs a fresh local run (remote and warm-cached results carry no tunable-circuit internals)")
+		} else {
+			dcs := cmp.WireLen
+			if res.DCS != nil && res.DCS.Objective == "edge-match" {
+				dcs = cmp.EdgeMatch
+			}
+			fmt.Println("tunable connections:")
+			nm := dcs.Merge.Tunable.NumModes
+			for _, cn := range dcs.Merge.Tunable.Conns {
+				fmt.Printf("  %v -> %v  activation %s\n", cn.Src, cn.Dst, cn.Act.Expression(nm))
+			}
 		}
-		_ = mode.Set(0)
 	}
 }
 
-func emit(out *output) {
+// compileRemote submits the request to a running mmserved and decodes the
+// shared response schema.
+func compileRemote(base string, req *service.CompileRequest) (*service.Result, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: 30 * time.Minute} // full-effort compiles are slow
+	resp, err := client.Post(base+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("remote %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("remote %s: %w", base, err)
+	}
+	var res service.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("remote %s: status %d: %s", base, resp.StatusCode, data)
+	}
+	if res.Error != "" {
+		return &res, fmt.Errorf("remote %s: %s", base, res.Error)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &res, fmt.Errorf("remote %s: status %d", base, resp.StatusCode)
+	}
+	return &res, nil
+}
+
+// render prints the human-readable report from the wire-schema result —
+// remote and local runs produce identical output by construction.
+func render(res *service.Result) {
+	for i, m := range res.Modes {
+		fmt.Printf("mode %d (%s): %d LUTs, %d FFs, %d PIs, %d POs\n",
+			i, m.Name, m.LUTs, m.FFs, m.PIs, m.POs)
+	}
+	if res.Region == nil || res.MDR == nil || res.DCS == nil {
+		return
+	}
+	fmt.Printf("region: %dx%d CLBs, channel width %d (min %d), %d routing bits, %d LUT bits\n",
+		res.Region.Side, res.Region.Side, res.Region.ChannelW, res.Region.MinW,
+		res.Region.RoutingBits, res.Region.LUTBits)
+	fmt.Printf("MDR: reconfig %d bits (whole region), avg mode wirelength %.0f segments\n",
+		res.MDR.ReconfigBits, res.MDR.AvgWire)
+	fmt.Printf("DCS (%s): %d TLUTs, %d tunable connections (%d shared across all modes)\n",
+		res.DCS.Objective, res.DCS.TLUTs, res.DCS.Conns, res.DCS.SharedConns)
+	fmt.Printf("DCS: reconfig %d bits (%d LUT + %d parameterised routing), avg mode wirelength %.0f\n",
+		res.DCS.ReconfigBits, res.Region.LUTBits, res.DCS.ParamRoutingBits, res.DCS.AvgWire)
+	fmt.Printf("speed-up vs MDR: %.2fx   wirelength vs MDR: %.0f%%\n",
+		res.SpeedupVsMDR, 100*res.WireVsMDR)
+	if sw := res.SwitchCost; sw != nil {
+		if sw.MDRDiff == nil {
+			fmt.Fprintf(os.Stderr, "mmflow: diff switch matrix unavailable: %s\n", sw.MDRDiffError)
+		}
+		printMatrix("MDR diff", sw.MDRDiff)
+		printMatrix("DCS", sw.DCS)
+	}
+}
+
+func printMatrix(label string, m flow.SwitchMatrix) {
+	if m == nil {
+		return
+	}
+	from, to, worst := m.Worst()
+	fmt.Printf("%s switch cost: avg %.1f bits, worst %d (%d->%d)\n", label, m.Avg(), worst, from, to)
+	m.FprintRows(os.Stdout, "  ")
+}
+
+// fail reports an error and exits non-zero; under -json the error rides
+// in the result document on stdout (with any partial fields the flow
+// produced before failing).
+func fail(jsonOut bool, res *service.Result, err error) {
+	if jsonOut {
+		if res == nil {
+			res = &service.Result{}
+		}
+		if res.Error == "" {
+			res.Error = err.Error()
+		}
+		emit(res)
+	} else {
+		fmt.Fprintln(os.Stderr, "mmflow:", err)
+	}
+	os.Exit(1)
+}
+
+func emit(res *service.Result) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := enc.Encode(res); err != nil {
 		fmt.Fprintln(os.Stderr, "mmflow:", err)
 		os.Exit(1)
 	}

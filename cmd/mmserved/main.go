@@ -1,0 +1,92 @@
+// Command mmserved is the long-running compile daemon: it keeps one
+// flow.Cache — optionally backed by a persistent content-addressed
+// artifact store — warm across requests, so repeated compilations of the
+// same modes are served from cached placements and identical requests in
+// flight share a single flow execution.
+//
+// Endpoints:
+//
+//	POST /compile — service.CompileRequest JSON in, service.Result out
+//	GET  /healthz — liveness probe
+//	GET  /stats   — request counters + cache statistics
+//
+// `mmflow -remote http://host:port ...` submits its BLIF modes here
+// instead of compiling locally.
+//
+// Usage:
+//
+//	mmserved [-addr :8433] [-j N] [-cachedir DIR] [-cachemb MB]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8433", "listen address")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "maximum concurrent compile executions")
+	cachedir := flag.String("cachedir", "", "persistent artifact-store directory (empty: in-memory cache only)")
+	cachemb := flag.Int64("cachemb", 0, "artifact-store size cap in MiB (0: uncapped)")
+	flag.Parse()
+
+	cache := flow.NewCache()
+	if *cachedir != "" {
+		st, err := store.Open(*cachedir, *cachemb<<20)
+		if err != nil {
+			fatal(err)
+		}
+		cache = flow.NewCacheWithStore(st)
+		fmt.Fprintf(os.Stderr, "mmserved: artifact store at %s\n", st.Root())
+	}
+
+	srv := service.NewServer(cache, *jobs)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, then let
+	// in-flight compiles finish (bounded, so clients are not cut off
+	// mid-response).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "mmserved: listening on %s (%d workers)\n", *addr, *jobs)
+		done <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "mmserved: shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mmserved: done; final stats: %s\n", cache.Stats())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mmserved:", err)
+	os.Exit(1)
+}

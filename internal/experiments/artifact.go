@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/flow"
+	"repro/internal/lutnet"
+)
+
+// Group results are the top-level artifact of the persistence subsystem:
+// one entry is a whole benchmark × group evaluation — region sizing, the
+// MDR baseline and both DCS objectives — so a warm store turns the
+// dominant cost of a sweep (annealing and routing every group) into one
+// read and a decode. The encoder lives here rather than in internal/codec
+// because GroupResult sits above flow in the import DAG (experiments →
+// flow → codec); it is built from the same codec primitives and follows
+// the same versioned-header contract.
+const (
+	kindGroupResult = "group-result"
+	// groupResultVersion covers the encoding below AND the semantics of
+	// everything RunGroup executes (flow.RunComparison, the switch-cost
+	// matrices, region sizing). Bump it whenever either changes: the
+	// version is hashed into the key, so a bump orphans stale entries
+	// instead of serving results an updated algorithm would no longer
+	// produce.
+	groupResultVersion = 1
+)
+
+// groupResultKey derives the content-addressed store key of one group
+// evaluation: the canonical group name, the content hashes of the mode
+// circuits (in group order), and the scale knobs RunGroup feeds into
+// flow.Config. Everything else RunGroup depends on is constant per
+// groupResultVersion.
+func groupResultKey(c *flow.Cache, name string, modes []*lutnet.Circuit, sc Scale) codec.Hash {
+	w := codec.NewWriter()
+	w.Header(kindGroupResult, groupResultVersion)
+	w.String(name)
+	w.Uvarint(uint64(len(modes)))
+	for _, m := range modes {
+		h := c.CircuitHash(m)
+		w.String(h.Hex())
+	}
+	w.Float64(sc.Effort)
+	w.Varint(sc.Seed)
+	return w.Sum()
+}
+
+func encodeMatrix(w *codec.Writer, m flow.SwitchMatrix) {
+	w.Bool(m != nil)
+	if m == nil {
+		return
+	}
+	w.Uvarint(uint64(len(m)))
+	for _, row := range m {
+		w.Ints(row)
+	}
+}
+
+func decodeMatrix(r *codec.Reader) flow.SwitchMatrix {
+	if !r.Bool() {
+		return nil
+	}
+	n := r.Len(1)
+	m := make(flow.SwitchMatrix, 0, n)
+	for i := 0; i < n; i++ {
+		m = append(m, r.Ints())
+	}
+	return m
+}
+
+// encodeGroupResult renders the canonical encoding of a group evaluation.
+func encodeGroupResult(res *GroupResult) []byte {
+	w := codec.NewWriter()
+	w.Header(kindGroupResult, groupResultVersion)
+	w.String(res.Suite)
+	w.String(res.Name)
+	w.Ints(res.ModeLUTs)
+	w.Int(res.Side)
+	w.Int(res.MinW)
+	w.Int(res.ChannelW)
+	w.Int(res.MDRBits)
+	w.Int(res.DiffBits)
+	w.Int(res.EMBits)
+	w.Int(res.WLBits)
+	w.Int(res.LUTBitsTotal)
+	w.Int(res.MDRRoutingBits)
+	w.Int(res.DiffRoutingBits)
+	w.Int(res.EMRoutingBits)
+	w.Int(res.WLRoutingBits)
+	w.Float64(res.SpeedupEM)
+	w.Float64(res.SpeedupWL)
+	w.Float64(res.WireMDR)
+	w.Float64(res.WireEM)
+	w.Float64(res.WireWL)
+	encodeMatrix(w, res.MDRSwitch)
+	encodeMatrix(w, res.DiffSwitch)
+	encodeMatrix(w, res.DCSSwitch)
+	return w.Bytes()
+}
+
+// decodeGroupResult is the inverse of encodeGroupResult. Any malformation
+// (including a version mismatch) returns an error and the caller falls
+// back to recomputing the group.
+func decodeGroupResult(data []byte) (*GroupResult, error) {
+	r := codec.NewReader(data)
+	r.Header(kindGroupResult, groupResultVersion)
+	res := &GroupResult{
+		Suite:           r.String(),
+		Name:            r.String(),
+		ModeLUTs:        r.Ints(),
+		Side:            r.Int(),
+		MinW:            r.Int(),
+		ChannelW:        r.Int(),
+		MDRBits:         r.Int(),
+		DiffBits:        r.Int(),
+		EMBits:          r.Int(),
+		WLBits:          r.Int(),
+		LUTBitsTotal:    r.Int(),
+		MDRRoutingBits:  r.Int(),
+		DiffRoutingBits: r.Int(),
+		EMRoutingBits:   r.Int(),
+		WLRoutingBits:   r.Int(),
+		SpeedupEM:       r.Float64(),
+		SpeedupWL:       r.Float64(),
+		WireMDR:         r.Float64(),
+		WireEM:          r.Float64(),
+		WireWL:          r.Float64(),
+	}
+	res.MDRSwitch = decodeMatrix(r)
+	res.DiffSwitch = decodeMatrix(r)
+	res.DCSSwitch = decodeMatrix(r)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(res.ModeLUTs) < 2 {
+		return nil, fmt.Errorf("experiments: decoded group result has %d modes", len(res.ModeLUTs))
+	}
+	return res, nil
+}

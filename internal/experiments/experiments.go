@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/codec"
 	"repro/internal/flow"
 	"repro/internal/gen/firgen"
 	"repro/internal/gen/mcncgen"
@@ -47,8 +48,10 @@ type Scale struct {
 	// Cache shares deterministic intermediate products (routing-resource
 	// graphs, placements) between jobs. Runner fills it automatically;
 	// set it explicitly to extend the sharing across separate runs (e.g.
-	// the figure sweep and the ablations of one mmbench invocation).
-	// Nil means no memoization. Results are identical either way.
+	// the figure sweep and the ablations of one mmbench invocation), and
+	// back it with a persistent store (flow.NewCacheWithStore) to extend
+	// it across processes — whole group results are then served from the
+	// store. Nil means no memoization. Results are identical either way.
 	Cache *flow.Cache
 }
 
@@ -353,7 +356,12 @@ func groupModes(s *Suite, group []int) []*lutnet.Circuit {
 
 // RunGroup evaluates one multi-mode group under MDR, DCS-EdgeMatch and
 // DCS-WireLength on a shared region, including the N×N switch-cost
-// matrices.
+// matrices. When the Scale's Cache carries a persistent artifact store,
+// the whole evaluation is content-addressed: a warm store serves the
+// result without running any flow (and therefore without any annealing or
+// routing), and a computed result is written back for later processes.
+// Store entries are pure functions of their keys, so warm and cold runs
+// render byte-identical reports.
 func RunGroup(suite *Suite, group []int, sc Scale) (*GroupResult, error) {
 	if len(group) < 2 {
 		return nil, fmt.Errorf("experiments: group %v has fewer than two modes", group)
@@ -361,6 +369,19 @@ func RunGroup(suite *Suite, group []int, sc Scale) (*GroupResult, error) {
 	cfg := suite.config(sc)
 	modes := groupModes(suite, group)
 	name := groupName(suite.Name, group)
+
+	persistent := sc.Cache != nil && sc.Cache.Store() != nil
+	var key codec.Hash
+	if persistent {
+		key = groupResultKey(sc.Cache, name, modes, sc)
+		if data, ok := sc.Cache.GetArtifact(key); ok {
+			if res, err := decodeGroupResult(data); err == nil {
+				return res, nil
+			}
+			// Undecodable (stale format, logical corruption below the
+			// store's checksum): recompute and overwrite below.
+		}
+	}
 
 	cmp, err := flow.RunComparison(name, modes, cfg)
 	if err != nil {
@@ -408,6 +429,9 @@ func RunGroup(suite *Suite, group []int, sc Scale) (*GroupResult, error) {
 		MDRSwitch:  flow.MDRSwitchMatrix(region, len(modes)),
 		DiffSwitch: diffSwitch,
 		DCSSwitch:  flow.DCSSwitchMatrix(region.Arch, wl.TRoute, len(modes)),
+	}
+	if persistent {
+		sc.Cache.PutArtifact(key, encodeGroupResult(res))
 	}
 	return res, nil
 }

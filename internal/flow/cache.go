@@ -1,12 +1,36 @@
 package flow
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/arch"
+	"repro/internal/codec"
 	"repro/internal/lutnet"
 	"repro/internal/place"
+	"repro/internal/store"
 )
+
+// placementChannelWidth is the channel width of the throwaway architecture
+// handed to place.Place by the cache. Placement is wirelength-driven over
+// logic and pad *sites* only — it never reads the channel width, which is
+// why one cached placement serves every channel-width probe of SizeRegion
+// and why this value is arbitrary. The invariant is asserted by
+// TestPlacementIgnoresChannelWidth; anything routing-related must not be
+// built from this architecture.
+const placementChannelWidth = 4
+
+// memoryCapEntries bounds the in-process memo tier. A sweep or a CLI run
+// never approaches it, but a long-running mmserved accumulates entries
+// (and the hashes map pins every requested circuit) for the process
+// lifetime; past the cap the maps are flushed wholesale. Flushing is
+// always sound — at worst the next request recomputes or re-reads the
+// persistent store — so the coarse policy buys a bounded footprint
+// without per-entry LRU bookkeeping. In-flight computations are
+// unaffected: waiters hold their entry pointer, and a re-request simply
+// creates a fresh entry.
+const memoryCapEntries = 4096
 
 // Cache memoizes the expensive, deterministic intermediate products of the
 // flows so repeated jobs share work instead of redoing it:
@@ -15,27 +39,137 @@ import (
 //     once and then shared read-only — the channel-width bisection of
 //     SizeRegion, the widening retries of RunComparison, and every worker
 //     of a concurrent sweep all route over the same immutable structure.
-//   - Placements, keyed by (circuit, logic-array side, seed, effort).
-//     Placement is independent of channel width, so the placement computed
-//     for the first bisection probe is reused by every later probe and by
-//     the final MDR implementation on the sized region.
+//   - Placements, keyed by (circuit content hash, logic-array side, seed,
+//     effort). Placement is independent of channel width, so the placement
+//     computed for the first bisection probe is reused by every later
+//     probe and by the final MDR implementation on the sized region. The
+//     key is the circuit's *content* — structurally equal circuits hit the
+//     same entry regardless of pointer identity or which process computed
+//     it first.
 //
-// Everything cached is a pure function of its key, so cached and uncached
-// runs produce identical results; a Cache only changes how often the work
-// is done. All methods are safe for concurrent use, and concurrent
-// requests for the same key compute the value exactly once.
+// A cache optionally carries a persistent second tier: a content-addressed
+// artifact store (see NewCacheWithStore). Memory misses then consult the
+// store before computing, and computed placements (plus, one layer up,
+// experiments' whole group results) are written back, so warm-path work
+// survives the process. Everything cached is a pure function of its key,
+// so cached and uncached runs produce identical results; a Cache only
+// changes how often the work is done. All methods are safe for concurrent
+// use, and concurrent requests for the same key compute the value exactly
+// once per process.
 type Cache struct {
 	mu     sync.Mutex
 	graphs map[graphKey]*graphEntry
 	places map[placeKey]*placeEntry
+	hashes map[*lutnet.Circuit]codec.Hash // memoized content hashes
+	store  *store.Store
+
+	graphBuilds, graphHits       atomic.Uint64
+	placeAnneals, placeHits      atomic.Uint64
+	placeStoreHits               atomic.Uint64
+	artifactHits, artifactMisses atomic.Uint64
+	memFlushes                   atomic.Uint64
 }
 
-// NewCache returns an empty cache, ready for concurrent use.
+// maybeFlushLocked empties the memo maps when the entry cap is exceeded.
+// Callers hold c.mu.
+func (c *Cache) maybeFlushLocked() {
+	if len(c.graphs)+len(c.places)+len(c.hashes) <= memoryCapEntries {
+		return
+	}
+	c.graphs = map[graphKey]*graphEntry{}
+	c.places = map[placeKey]*placeEntry{}
+	c.hashes = map[*lutnet.Circuit]codec.Hash{}
+	c.memFlushes.Add(1)
+}
+
+// NewCache returns an empty in-memory cache, ready for concurrent use.
 func NewCache() *Cache {
 	return &Cache{
 		graphs: map[graphKey]*graphEntry{},
 		places: map[placeKey]*placeEntry{},
+		hashes: map[*lutnet.Circuit]codec.Hash{},
 	}
+}
+
+// NewCacheWithStore returns a cache backed by a persistent artifact store:
+// the in-memory tier works exactly as in NewCache, and misses fall through
+// to st before computing. st may be nil, which is equivalent to NewCache.
+func NewCacheWithStore(st *store.Store) *Cache {
+	c := NewCache()
+	c.store = st
+	return c
+}
+
+// Store returns the persistent tier, or nil for a memory-only cache.
+func (c *Cache) Store() *store.Store { return c.store }
+
+// Stats is a snapshot of cache traffic, reported by mmbench and asserted
+// by the warm-path tests (a warm sweep must show zero PlaceAnneals).
+type Stats struct {
+	// GraphBuilds counts routing-resource graphs built; GraphHits counts
+	// requests served by an already-built graph.
+	GraphBuilds, GraphHits uint64
+	// PlaceAnneals counts actual place.Place executions — the annealing
+	// work a warm cache exists to skip. PlaceHits are memory-tier hits,
+	// PlaceStoreHits are placements decoded from the artifact store.
+	PlaceAnneals, PlaceHits, PlaceStoreHits uint64
+	// ArtifactHits / ArtifactMisses count top-level artifact lookups —
+	// whole group results (experiments.RunGroup) and whole compile
+	// results (service.CompileNetlists), the tiers consulted before
+	// running any flow at all.
+	ArtifactHits, ArtifactMisses uint64
+	// MemFlushes counts wholesale flushes of the in-memory tier (the
+	// memoryCapEntries bound that keeps a long-running server's
+	// footprint finite).
+	MemFlushes uint64
+	// Store is the persistent tier's own traffic (zero without a store).
+	Store store.Stats
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		GraphBuilds:    c.graphBuilds.Load(),
+		GraphHits:      c.graphHits.Load(),
+		PlaceAnneals:   c.placeAnneals.Load(),
+		PlaceHits:      c.placeHits.Load(),
+		PlaceStoreHits: c.placeStoreHits.Load(),
+		ArtifactHits:   c.artifactHits.Load(),
+		ArtifactMisses: c.artifactMisses.Load(),
+		MemFlushes:     c.memFlushes.Load(),
+	}
+	if c.store != nil {
+		s.Store = c.store.Stats()
+	}
+	return s
+}
+
+// String renders the snapshot as the one-line summary mmbench prints.
+func (s Stats) String() string {
+	line := fmt.Sprintf("graphs %d built / %d hits; placements %d annealed / %d mem hits / %d store hits; artifacts %d store hits / %d misses",
+		s.GraphBuilds, s.GraphHits, s.PlaceAnneals, s.PlaceHits, s.PlaceStoreHits, s.ArtifactHits, s.ArtifactMisses)
+	if s.Store != (store.Stats{}) {
+		line += fmt.Sprintf("; store %d hits / %d misses / %d corrupt, %dB read / %dB written, %d evicted",
+			s.Store.Hits, s.Store.Misses, s.Store.Corrupt, s.Store.BytesRead, s.Store.BytesWritten, s.Store.Evictions)
+	}
+	return line
+}
+
+// CircuitHash returns the circuit's content hash, memoized per pointer so
+// suites sharing circuit pointers across groups hash each circuit once.
+func (c *Cache) CircuitHash(ct *lutnet.Circuit) codec.Hash {
+	c.mu.Lock()
+	h, ok := c.hashes[ct]
+	c.mu.Unlock()
+	if ok {
+		return h
+	}
+	h = codec.HashCircuit(ct)
+	c.mu.Lock()
+	c.maybeFlushLocked()
+	c.hashes[ct] = h
+	c.mu.Unlock()
+	return h
 }
 
 type graphKey struct {
@@ -53,11 +187,15 @@ func (c *Cache) graph(side, w int) *arch.Graph {
 	c.mu.Lock()
 	e := c.graphs[graphKey{side: side, w: w}]
 	if e == nil {
+		c.maybeFlushLocked()
 		e = &graphEntry{}
 		c.graphs[graphKey{side: side, w: w}] = e
 	}
 	c.mu.Unlock()
+	built := false
 	e.once.Do(func() {
+		built = true
+		c.graphBuilds.Add(1)
 		g := arch.BuildGraph(arch.New(side, side, w))
 		// Publish under mu so that Graphs — which cannot use once.Do
 		// without racing to mark unbuilt entries done — can read e.g
@@ -66,6 +204,9 @@ func (c *Cache) graph(side, w int) *arch.Graph {
 		e.g = g
 		c.mu.Unlock()
 	})
+	if !built {
+		c.graphHits.Add(1)
+	}
 	return e.g
 }
 
@@ -84,14 +225,30 @@ func (c *Cache) Graphs() []*arch.Graph {
 }
 
 // placeKey identifies a placement by everything place.Place depends on:
-// the circuit (by identity — suites share *lutnet.Circuit pointers across
-// pairs), the logic-array dimensions, and the annealer seed and effort.
-// Channel width is deliberately absent: placement never looks at it.
+// the circuit (by content hash — structurally equal circuits share the
+// entry, within and across processes), the logic-array dimensions, and the
+// annealer seed and effort. Channel width is deliberately absent:
+// placement never looks at it (see placementChannelWidth).
 type placeKey struct {
-	circuit       *lutnet.Circuit
+	circuit       codec.Hash
 	width, height int
 	seed          int64
 	effort        float64
+}
+
+// storeKey derives the artifact-store key of a placement entry. The
+// placement format version rides in via codec.EncodePlacement's header at
+// write time and, for the key itself, below — so a format bump orphans
+// stale entries instead of misreading them.
+func (k placeKey) storeKey() codec.Hash {
+	w := codec.NewWriter()
+	w.Header(codec.KindPlacement, codec.PlacementVersion)
+	w.String(k.circuit.Hex())
+	w.Int(k.width)
+	w.Int(k.height)
+	w.Varint(k.seed)
+	w.Float64(k.effort)
+	return w.Sum()
 }
 
 type placeEntry struct {
@@ -103,22 +260,79 @@ type placeEntry struct {
 
 // placement returns the annealed placement of circuit ct on a
 // width×height logic array under the given seed and effort, computing it
-// on first request. The returned placement is shared: callers must treat
-// it as immutable.
+// on first request per process and consulting the artifact store (when
+// attached) before annealing. The returned placement is shared: callers
+// must treat it as immutable.
 func (c *Cache) placement(ct *lutnet.Circuit, width, height int, seed int64, effort float64) (*place.Placement, place.CircuitCells, error) {
-	k := placeKey{circuit: ct, width: width, height: height, seed: seed, effort: effort}
+	k := placeKey{circuit: c.CircuitHash(ct), width: width, height: height, seed: seed, effort: effort}
 	c.mu.Lock()
 	e := c.places[k]
 	if e == nil {
+		c.maybeFlushLocked()
 		e = &placeEntry{}
 		c.places[k] = e
 	}
 	c.mu.Unlock()
+	computed := false
 	e.once.Do(func() {
-		a := arch.New(width, height, 4) // channel width is irrelevant to placement
+		computed = true
+		var key codec.Hash
+		if c.store != nil {
+			key = k.storeKey()
+			if data, err := c.store.Get(key); err == nil {
+				pl, cc, derr := codec.DecodePlacement(data)
+				// The artifact must match the circuit in hand; a mismatch
+				// (e.g. a hash collision would require one, but a stale
+				// format is the realistic case) degrades to a recompute.
+				if derr == nil && cc.NumBlk == len(ct.Blocks) && cc.NumPI == len(ct.PINames) && cc.NumPO == len(ct.POs) {
+					cc.Circuit = ct
+					c.placeStoreHits.Add(1)
+					e.pl, e.cc = pl, cc
+					return
+				}
+			}
+		}
+		c.placeAnneals.Add(1)
+		a := arch.New(width, height, placementChannelWidth)
 		prob, cc := place.FromCircuit(ct)
 		pl, err := place.Place(prob, a, place.Options{Seed: seed, Effort: effort})
 		e.pl, e.cc, e.err = pl, cc, err
+		if c.store != nil && err == nil {
+			// Best effort: a failed write only costs the next process a
+			// recompute.
+			_ = c.store.Put(key, codec.EncodePlacement(pl, cc))
+		}
 	})
+	if !computed {
+		c.placeHits.Add(1)
+	}
 	return e.pl, e.cc, e.err
+}
+
+// GetArtifact looks a top-level artifact (a whole group result, a whole
+// compile result) up in the persistent tier. It returns (nil, false) for
+// memory-only caches, misses, and corrupt entries alike — callers
+// recompute and PutArtifact heals the entry.
+func (c *Cache) GetArtifact(key codec.Hash) ([]byte, bool) {
+	if c.store == nil {
+		return nil, false
+	}
+	data, err := c.store.Get(key)
+	if err != nil {
+		c.artifactMisses.Add(1)
+		return nil, false
+	}
+	c.artifactHits.Add(1)
+	return data, true
+}
+
+// PutArtifact stores a top-level artifact in the persistent tier (a no-op
+// for memory-only caches; these artifacts need no in-process memo — a
+// sweep evaluates each group exactly once, and mmserved's in-flight dedup
+// covers the request level).
+func (c *Cache) PutArtifact(key codec.Hash, data []byte) {
+	if c.store == nil {
+		return
+	}
+	_ = c.store.Put(key, data)
 }

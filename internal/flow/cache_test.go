@@ -1,11 +1,16 @@
 package flow
 
 import (
+	"fmt"
+	"os"
 	"reflect"
 	"sync"
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/lutnet"
+	"repro/internal/place"
+	"repro/internal/store"
 )
 
 // TestGraphCacheSingleInstance checks that concurrent requests for the
@@ -91,6 +96,205 @@ func TestPlacementMemoMatchesUncached(t *testing.T) {
 	}
 	if memo1 == other {
 		t.Fatalf("different seeds shared one placement entry")
+	}
+}
+
+// TestPlacementIgnoresChannelWidth asserts the invariant behind
+// placementChannelWidth and behind the cache's channel-width-free key:
+// place.Place is a pure function of the logic array's dimensions — the
+// routing channel width of the architecture it is handed never influences
+// the result.
+func TestPlacementIgnoresChannelWidth(t *testing.T) {
+	cfg := testConfig().filled()
+	mapped, err := MapModes(buildPair(t, 5, 6, 30), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, _ := place.FromCircuit(mapped[0])
+	var baseline *place.Placement
+	for _, w := range []int{2, placementChannelWidth, 64} {
+		pl, err := place.Place(prob, arch.New(6, 6, w), place.Options{Seed: 3, Effort: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = pl
+		} else if !reflect.DeepEqual(pl, baseline) {
+			t.Fatalf("placement at channel width %d differs from the baseline", w)
+		}
+	}
+}
+
+// TestPlacementContentAddressed checks that the cache keys placements by
+// circuit content, not pointer identity: two structurally equal circuits
+// behind distinct pointers share one entry.
+func TestPlacementContentAddressed(t *testing.T) {
+	cfg := testConfig().filled()
+	mappedA, err := MapModes(buildPair(t, 3, 4, 30), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mappedB, err := MapModes(buildPair(t, 3, 4, 30), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mappedA[0] == mappedB[0] {
+		t.Fatal("test wants distinct circuit pointers")
+	}
+	c := NewCache()
+	a := arch.New(6, 6, 8)
+	pl1, _, err := c.placement(mappedA[0], a.Width, a.Height, 1, cfg.PlaceEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2, _, err := c.placement(mappedB[0], a.Width, a.Height, 1, cfg.PlaceEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl1 != pl2 {
+		t.Fatal("structurally equal circuits did not share one placement entry")
+	}
+	if st := c.Stats(); st.PlaceAnneals != 1 || st.PlaceHits != 1 {
+		t.Fatalf("stats %+v, want 1 anneal and 1 hit", st)
+	}
+}
+
+// TestPlacementStoreTier checks the persistent tier end to end: a second
+// cache (a second process, in effect) sharing the same store directory
+// must reload the identical placement without annealing, and a corrupted
+// artifact must degrade to a recompute with the same result.
+func TestPlacementStoreTier(t *testing.T) {
+	cfg := testConfig().filled()
+	mapped, err := MapModes(buildPair(t, 3, 4, 30), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := mapped[0]
+	dir := t.TempDir()
+	st1, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewCacheWithStore(st1)
+	plCold, ccCold, err := cold.placement(ct, 6, 6, 1, cfg.PlaceEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.Stats(); s.PlaceAnneals != 1 || s.PlaceStoreHits != 0 {
+		t.Fatalf("cold stats %+v, want 1 anneal / 0 store hits", s)
+	}
+
+	st2, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewCacheWithStore(st2)
+	plWarm, ccWarm, err := warm.placement(ct, 6, 6, 1, cfg.PlaceEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plWarm, plCold) || !reflect.DeepEqual(ccWarm, ccCold) {
+		t.Fatal("store-tier placement differs from the annealed one")
+	}
+	if s := warm.Stats(); s.PlaceAnneals != 0 || s.PlaceStoreHits != 1 {
+		t.Fatalf("warm stats %+v, want 0 anneals / 1 store hit", s)
+	}
+
+	// Corrupt the artifact: the next process must fall back to annealing
+	// and reproduce the identical placement (determinism), not error out.
+	key := placeKey{circuit: warm.CircuitHash(ct), width: 6, height: 6, seed: 1, effort: cfg.PlaceEffort}.storeKey()
+	raw, err := os.ReadFile(st2.Path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(st2.Path(key), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healed := NewCacheWithStore(st3)
+	plHealed, _, err := healed.placement(ct, 6, 6, 1, cfg.PlaceEffort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plHealed, plCold) {
+		t.Fatal("recompute after corruption produced a different placement")
+	}
+	if s := healed.Stats(); s.PlaceAnneals != 1 || s.Store.Corrupt != 1 {
+		t.Fatalf("healed stats %+v, want 1 anneal / 1 corrupt", s)
+	}
+	// The recompute healed the entry on disk.
+	st4, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := NewCacheWithStore(st4)
+	if _, _, err := final.placement(ct, 6, 6, 1, cfg.PlaceEffort); err != nil {
+		t.Fatal(err)
+	}
+	if s := final.Stats(); s.PlaceStoreHits != 1 {
+		t.Fatalf("final stats %+v, want a store hit after healing", s)
+	}
+}
+
+// TestMemoryTierFlush checks the memo-tier bound: exceeding
+// memoryCapEntries flushes the maps (keeping a long-running server's
+// footprint finite) and the cache keeps answering correctly afterwards.
+func TestMemoryTierFlush(t *testing.T) {
+	c := NewCache()
+	first := &lutnet.Circuit{Name: "c0", K: 4}
+	want := c.CircuitHash(first)
+	for i := 1; i <= memoryCapEntries+1; i++ {
+		c.CircuitHash(&lutnet.Circuit{Name: fmt.Sprintf("c%d", i), K: 4})
+	}
+	if c.Stats().MemFlushes == 0 {
+		t.Fatalf("no flush after %d entries", memoryCapEntries+2)
+	}
+	if c.CircuitHash(first) != want {
+		t.Fatal("hash changed across a flush")
+	}
+}
+
+// TestComparisonWarmStore runs the full comparison twice against one store
+// directory with fresh in-memory caches and demands identical metrics with
+// zero placement annealing on the warm pass.
+func TestComparisonWarmStore(t *testing.T) {
+	cfg := testConfig()
+	mapped, err := MapModes(buildPair(t, 1, 2, 30), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	run := func() (*Comparison, Stats) {
+		st, err := store.Open(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cfg
+		c.Cache = NewCacheWithStore(st)
+		cmp, err := RunComparison("warmstore", mapped, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cmp, c.Cache.Stats()
+	}
+	cold, coldStats := run()
+	warm, warmStats := run()
+	if coldStats.PlaceAnneals == 0 {
+		t.Fatal("cold run annealed nothing — test is vacuous")
+	}
+	if warmStats.PlaceAnneals != 0 {
+		t.Fatalf("warm run annealed %d placements, want 0", warmStats.PlaceAnneals)
+	}
+	if cold.MDR.ReconfigBits != warm.MDR.ReconfigBits ||
+		cold.WireLen.ReconfigBits != warm.WireLen.ReconfigBits ||
+		cold.EdgeMatch.ReconfigBits != warm.EdgeMatch.ReconfigBits ||
+		cold.MDR.AvgWire != warm.MDR.AvgWire ||
+		cold.Region.Arch != warm.Region.Arch {
+		t.Fatal("warm-store comparison differs from the cold one")
 	}
 }
 

@@ -41,7 +41,8 @@ type Config struct {
 	Seed               int64
 	RouteOpts          route.Options
 	// Cache, when non-nil, memoizes routing-resource graphs and placements
-	// across calls (see Cache). Results are identical with or without it;
+	// across calls (see Cache), and — when backed by a persistent artifact
+	// store — across processes. Results are identical with or without it;
 	// sharing one Cache between concurrent jobs deduplicates their work.
 	Cache *Cache
 }

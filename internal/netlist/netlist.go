@@ -135,6 +135,33 @@ func (n *Netlist) check(id int) {
 	}
 }
 
+// Reconstruct builds a netlist from raw parts — nodes in ID order (node
+// i must carry ID i) plus the primary outputs — rebuilding the name index
+// that the builder API normally maintains. It is the entry point for
+// decoders (internal/codec) that materialise a netlist from a serialised
+// form rather than growing it node by node; unlike AddGate it accepts
+// forward fanin references (a gate may read a later latch's Q), so the
+// whole node set is checked at once with Validate before returning.
+func Reconstruct(name string, nodes []*Node, outputs []Output) (*Netlist, error) {
+	n := &Netlist{Name: name, Nodes: nodes, Outputs: outputs, byName: make(map[string]int, len(nodes))}
+	for i, nd := range nodes {
+		if nd == nil {
+			return nil, fmt.Errorf("netlist: Reconstruct: node %d is nil", i)
+		}
+		if nd.ID != i {
+			return nil, fmt.Errorf("netlist: Reconstruct: node at index %d has ID %d", i, nd.ID)
+		}
+		if _, dup := n.byName[nd.Name]; dup {
+			return nil, fmt.Errorf("netlist: Reconstruct: duplicate node name %q", nd.Name)
+		}
+		n.byName[nd.Name] = i
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("netlist: Reconstruct: %w", err)
+	}
+	return n, nil
+}
+
 // NodeByName returns the ID of the node with the given name.
 func (n *Netlist) NodeByName(name string) (int, bool) {
 	id, ok := n.byName[name]

@@ -31,10 +31,18 @@ func (cc CircuitCells) SourceCell(s lutnet.Source) int {
 	return cc.BlockCell(s.Idx)
 }
 
+// CellsOf returns the cell partition of a circuit without building the
+// placement problem — what a cache needs when the annealed placement
+// itself comes from the artifact store and only the index mapping must be
+// rebuilt.
+func CellsOf(c *lutnet.Circuit) CircuitCells {
+	return CircuitCells{Circuit: c, NumBlk: len(c.Blocks), NumPI: len(c.PINames), NumPO: len(c.POs)}
+}
+
 // FromCircuit builds a placement problem from a mapped circuit: every net
 // becomes a bounding-box net over its driver and sink cells.
 func FromCircuit(c *lutnet.Circuit) (*Problem, CircuitCells) {
-	cc := CircuitCells{Circuit: c, NumBlk: len(c.Blocks), NumPI: len(c.PINames), NumPO: len(c.POs)}
+	cc := CellsOf(c)
 	p := &Problem{}
 	for i := range c.Blocks {
 		p.Cells = append(p.Cells, Cell{Name: c.Blocks[i].Name})

@@ -1,0 +1,216 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/flow"
+	"repro/internal/netlist"
+)
+
+// maxRequestBytes bounds a compile request body (BLIF text compresses the
+// wire format poorly, but even the paper's largest benchmarks are far
+// below this).
+const maxRequestBytes = 64 << 20
+
+// Server is the long-running compile service: it owns one flow.Cache
+// (usually store-backed, so results survive the process) shared by every
+// request, bounds concurrent flow executions with a worker semaphore, and
+// deduplicates identical in-flight requests — N clients submitting the
+// same mode set while it compiles share a single flow execution and all
+// receive its result.
+type Server struct {
+	cache   *flow.Cache
+	workers int
+	sem     chan struct{}
+
+	mu       sync.Mutex
+	inflight map[codec.Hash]*call
+
+	started time.Time
+
+	requests, deduped, compiles, failures atomic.Uint64
+
+	// testHookBeforeCompile, when set, runs in the winning request's
+	// goroutine after it registered as in-flight and before it compiles —
+	// the dedup test parks the compile there until every duplicate has
+	// arrived, making the single-execution assertion timing-independent.
+	testHookBeforeCompile func()
+}
+
+// call is one in-flight compile execution; duplicates block on done and
+// read the shared outcome.
+type call struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// NewServer returns a server executing at most workers concurrent
+// compiles (<= 0 means 1) against the given cache (nil for uncached).
+func NewServer(cache *flow.Cache, workers int) *Server {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Server{
+		cache:    cache,
+		workers:  workers,
+		sem:      make(chan struct{}, workers),
+		inflight: map[codec.Hash]*call{},
+		started:  time.Now(),
+	}
+}
+
+// Handler returns the service's HTTP routes:
+//
+//	POST /compile — CompileRequest JSON in, Result JSON out
+//	GET  /healthz — liveness: {"status":"ok"}
+//	GET  /stats   — traffic counters and cache statistics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, &Result{Error: "POST required"})
+		return
+	}
+	s.requests.Add(1)
+	var req CompileRequest
+	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, &Result{Error: fmt.Sprintf("bad request: %v", err)})
+		return
+	}
+	nls, err := ParseModes(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, &Result{Error: err.Error()})
+		return
+	}
+	if _, err := req.objective(); err != nil {
+		writeJSON(w, http.StatusBadRequest, &Result{Error: err.Error()})
+		return
+	}
+
+	key := RequestKey(nls, &req)
+	s.mu.Lock()
+	if c, ok := s.inflight[key]; ok {
+		// An identical compile is already executing: join it.
+		s.mu.Unlock()
+		s.deduped.Add(1)
+		<-c.done
+		s.respond(w, c.res, c.err)
+		return
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+
+	if s.testHookBeforeCompile != nil {
+		s.testHookBeforeCompile()
+	}
+	s.execute(c, nls, &req, key)
+	s.respond(w, c.res, c.err)
+}
+
+// execute runs the winning request's compile. The unwind work — freeing
+// the worker slot, unregistering the in-flight entry, waking the
+// duplicates — runs in a defer so that a panicking flow (we parse
+// arbitrary BLIF into code paths that panic on broken invariants) cannot
+// wedge the daemon: without it the duplicates would block on done
+// forever and the semaphore slot would leak until, after `workers`
+// panics, no request could ever compile again.
+func (s *Server) execute(c *call, nls []*netlist.Netlist, req *CompileRequest, key codec.Hash) {
+	s.sem <- struct{}{} // bound concurrent flow executions
+	s.compiles.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			c.res, c.err = nil, fmt.Errorf("service: compile panicked: %v", r)
+		}
+		<-s.sem
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(c.done)
+	}()
+	c.res, _, c.err = CompileNetlists(nls, req, s.cache)
+}
+
+// respond writes a compile outcome: 200 with the result, or 422 with the
+// error folded into the Result schema (a mode set that does not route is
+// a property of the request, not a server fault). res may be shared by
+// every deduplicated client of one execution, so the error rides in a
+// per-response copy — mutating the shared value here would race.
+func (s *Server) respond(w http.ResponseWriter, res *Result, err error) {
+	if err != nil {
+		s.failures.Add(1)
+		out := Result{}
+		if res != nil {
+			out = *res
+		}
+		out.Error = err.Error()
+		writeJSON(w, http.StatusUnprocessableEntity, &out)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+	})
+}
+
+// StatsSnapshot is the /stats document.
+type StatsSnapshot struct {
+	UptimeSeconds int64      `json:"uptime_seconds"`
+	Workers       int        `json:"workers"`
+	Requests      uint64     `json:"requests"`
+	Deduped       uint64     `json:"deduped"`
+	Compiles      uint64     `json:"compiles"`
+	Failures      uint64     `json:"failures"`
+	Inflight      int        `json:"inflight"`
+	Cache         flow.Stats `json:"cache"`
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() StatsSnapshot {
+	s.mu.Lock()
+	inflight := len(s.inflight)
+	s.mu.Unlock()
+	snap := StatsSnapshot{
+		UptimeSeconds: int64(time.Since(s.started).Seconds()),
+		Workers:       s.workers,
+		Requests:      s.requests.Load(),
+		Deduped:       s.deduped.Load(),
+		Compiles:      s.compiles.Load(),
+		Failures:      s.failures.Load(),
+		Inflight:      inflight,
+	}
+	if s.cache != nil {
+		snap.Cache = s.cache.Stats()
+	}
+	return snap
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,282 @@
+// Package service is the compile service behind cmd/mmserved and the
+// local engine of cmd/mmflow: submit N BLIF mode descriptions, receive
+// the full RunComparison result (region, MDR, DCS, switch-cost matrices)
+// as one JSON document. Keeping the request/response types and the
+// Compile function here means the daemon, the CLI's local path and the
+// CLI's -remote path all speak the same schema by construction.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/flow"
+	"repro/internal/merge"
+	"repro/internal/netlist"
+)
+
+// Mode is one BLIF mode description of a compile request. Name, when set,
+// overrides the BLIF .model name (useful when submitting generated text
+// that lacks one).
+type Mode struct {
+	Name string `json:"name,omitempty"`
+	BLIF string `json:"blif"`
+}
+
+// CompileRequest asks for a full multi-mode comparison of N ≥ 2 modes.
+// Zero-valued knobs take the flow defaults (K=4, effort 1.0, seed 0).
+type CompileRequest struct {
+	Modes []Mode `json:"modes"`
+	// K is the LUT input count.
+	K int `json:"k,omitempty"`
+	// Effort scales the annealing schedules.
+	Effort float64 `json:"effort,omitempty"`
+	// RefineFrac is TPlace's refinement opening-temperature fraction.
+	RefineFrac float64 `json:"refine_frac,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	// Objective selects the combined-placement objective the DCS summary
+	// reports: "wire" (default) or "edge". Both are always computed (the
+	// comparison needs them); this picks which one the flat fields
+	// describe.
+	Objective string `json:"objective,omitempty"`
+}
+
+// ModeInfo summarises one mapped mode.
+type ModeInfo struct {
+	Name string `json:"name"`
+	LUTs int    `json:"luts"`
+	FFs  int    `json:"ffs"`
+	PIs  int    `json:"pis"`
+	POs  int    `json:"pos"`
+}
+
+// RegionInfo describes the shared reconfigurable region.
+type RegionInfo struct {
+	Side        int `json:"side"`
+	ChannelW    int `json:"channel_width"`
+	MinW        int `json:"min_channel_width"`
+	RoutingBits int `json:"routing_bits"`
+	LUTBits     int `json:"lut_bits"`
+}
+
+// MDRInfo summarises the MDR baseline.
+type MDRInfo struct {
+	ReconfigBits int     `json:"reconfig_bits"`
+	AvgWire      float64 `json:"avg_wire"`
+}
+
+// DCSInfo summarises the selected DCS implementation.
+type DCSInfo struct {
+	Objective        string  `json:"objective"`
+	TLUTs            int     `json:"tluts"`
+	Conns            int     `json:"tunable_connections"`
+	SharedConns      int     `json:"shared_connections"`
+	ReconfigBits     int     `json:"reconfig_bits"`
+	ParamRoutingBits int     `json:"param_routing_bits"`
+	AvgWire          float64 `json:"avg_wire"`
+}
+
+// SwitchInfo carries the per-transition cost matrices (row = from mode,
+// column = to mode).
+type SwitchInfo struct {
+	MDRFull flow.SwitchMatrix `json:"mdr_full"`
+	MDRDiff flow.SwitchMatrix `json:"mdr_diff,omitempty"`
+	// MDRDiffError explains an absent MDRDiff (bitstream assembly can
+	// fail without failing the compile); consumers can then distinguish
+	// "unavailable, here is why" from a schema change.
+	MDRDiffError string            `json:"mdr_diff_error,omitempty"`
+	DCS          flow.SwitchMatrix `json:"dcs"`
+	DCSAvg       float64           `json:"dcs_avg"`
+	DCSWorst     int               `json:"dcs_worst"`
+}
+
+// Result is the compile response. Error is set (and every other field
+// possibly partial) when the flow fails.
+type Result struct {
+	Error string     `json:"error,omitempty"`
+	Modes []ModeInfo `json:"modes,omitempty"`
+
+	Region *RegionInfo `json:"region,omitempty"`
+	MDR    *MDRInfo    `json:"mdr,omitempty"`
+	DCS    *DCSInfo    `json:"dcs,omitempty"`
+
+	SpeedupVsMDR float64 `json:"speedup_vs_mdr,omitempty"`
+	WireVsMDR    float64 `json:"wire_vs_mdr,omitempty"`
+
+	SwitchCost *SwitchInfo `json:"switch_cost,omitempty"`
+}
+
+// objective resolves the requested combined-placement objective.
+func (req *CompileRequest) objective() (merge.Objective, error) {
+	switch strings.ToLower(req.Objective) {
+	case "", "wire":
+		return merge.WireLength, nil
+	case "edge":
+		return merge.EdgeMatch, nil
+	default:
+		return merge.WireLength, fmt.Errorf("service: unknown objective %q (want wire or edge)", req.Objective)
+	}
+}
+
+// config assembles the flow configuration of a request.
+func (req *CompileRequest) config(cache *flow.Cache) flow.Config {
+	return flow.Config{
+		K:                  req.K,
+		PlaceEffort:        req.Effort,
+		RefineTempFraction: req.RefineFrac,
+		Seed:               req.Seed,
+		Cache:              cache,
+	}
+}
+
+// ParseModes reads every BLIF mode description of a request into a
+// netlist, applying the optional per-mode name overrides.
+func ParseModes(req *CompileRequest) ([]*netlist.Netlist, error) {
+	if len(req.Modes) < 2 {
+		return nil, fmt.Errorf("service: need at least two modes, got %d", len(req.Modes))
+	}
+	nls := make([]*netlist.Netlist, len(req.Modes))
+	for i, m := range req.Modes {
+		n, err := netlist.ReadBLIF(strings.NewReader(m.BLIF))
+		if err != nil {
+			return nil, fmt.Errorf("service: mode %d: %w", i, err)
+		}
+		if m.Name != "" {
+			n.Name = m.Name
+		}
+		nls[i] = n
+	}
+	return nls, nil
+}
+
+// RequestKey derives the content-addressed identity of a parsed request:
+// the netlist content hashes plus every knob the result depends on. Two
+// textually different submissions of the same networks under the same
+// knobs collapse to one key — the identity mmserved deduplicates in-flight
+// requests on.
+func RequestKey(nls []*netlist.Netlist, req *CompileRequest) codec.Hash {
+	w := codec.NewWriter()
+	w.Header("compile-request", 1)
+	w.Uvarint(uint64(len(nls)))
+	for _, n := range nls {
+		h := codec.HashNetlist(n)
+		w.String(h.Hex())
+	}
+	w.Int(req.K)
+	w.Float64(req.Effort)
+	w.Float64(req.RefineFrac)
+	w.Varint(req.Seed)
+	obj, _ := req.objective()
+	w.Int(int(obj))
+	return w.Sum()
+}
+
+// resultVersion covers the Result schema and the semantics of everything
+// CompileNetlists executes. Like every artifact version it is hashed into
+// the store key, so bumping it orphans stale entries.
+const resultVersion = 1
+
+// resultKey derives the store key of a whole compile result from the
+// request's content identity.
+func resultKey(nls []*netlist.Netlist, req *CompileRequest) codec.Hash {
+	w := codec.NewWriter()
+	w.Header("compile-result", resultVersion)
+	h := RequestKey(nls, req)
+	w.String(h.Hex())
+	return w.Sum()
+}
+
+// Compile runs the full comparison for a request. The returned Comparison
+// carries the in-memory implementation objects for callers (mmflow -v)
+// that need more than the serialisable Result; remote callers — and warm
+// store hits, which skip the flow entirely — only see the Result. A nil
+// cache is valid and simply disables memoization.
+func Compile(req *CompileRequest, cache *flow.Cache) (*Result, *flow.Comparison, error) {
+	nls, err := ParseModes(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	return CompileNetlists(nls, req, cache)
+}
+
+// CompileNetlists is Compile after BLIF parsing (the server parses first
+// to derive the dedup key, then compiles the parsed forms). When the
+// cache carries a persistent store, whole results are content-addressed
+// under the request identity: a warm request returns the stored Result
+// without running any flow, and by determinism that Result is identical
+// to what a fresh compile would produce.
+func CompileNetlists(nls []*netlist.Netlist, req *CompileRequest, cache *flow.Cache) (*Result, *flow.Comparison, error) {
+	obj, err := req.objective()
+	if err != nil {
+		return nil, nil, err
+	}
+	persistent := cache != nil && cache.Store() != nil
+	var key codec.Hash
+	if persistent {
+		key = resultKey(nls, req)
+		if data, ok := cache.GetArtifact(key); ok {
+			var res Result
+			if jerr := json.Unmarshal(data, &res); jerr == nil && res.Error == "" && res.Region != nil {
+				return &res, nil, nil
+			}
+			// Undecodable or incomplete: fall through and overwrite.
+		}
+	}
+	cfg := req.config(cache)
+	mapped, err := flow.MapModes(nls, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Result{}
+	for _, c := range mapped {
+		res.Modes = append(res.Modes, ModeInfo{
+			Name: c.Name, LUTs: c.NumBlocks(), FFs: c.NumFFs(), PIs: c.NumPIs(), POs: len(c.POs),
+		})
+	}
+	cmp, err := flow.RunComparison("multimode", mapped, cfg)
+	if err != nil {
+		return res, nil, fmt.Errorf("mode set does not route: %w", err)
+	}
+	region, mdr := cmp.Region, cmp.MDR
+	dcs := cmp.WireLen
+	if obj == merge.EdgeMatch {
+		dcs = cmp.EdgeMatch
+	}
+	st := dcs.Merge.Tunable.Stats()
+	n := len(mapped)
+
+	res.Region = &RegionInfo{
+		Side: region.Arch.Width, ChannelW: region.Arch.W, MinW: region.MinW,
+		RoutingBits: region.Graph.NumRoutingBits, LUTBits: region.Arch.TotalLUTBits(),
+	}
+	res.MDR = &MDRInfo{ReconfigBits: mdr.ReconfigBits, AvgWire: mdr.AvgWire}
+	res.DCS = &DCSInfo{
+		Objective: fmt.Sprint(obj), TLUTs: st.NumTLUTs, Conns: st.NumConns, SharedConns: st.SharedConns,
+		ReconfigBits: dcs.ReconfigBits, ParamRoutingBits: dcs.TRoute.ParamRoutingBits, AvgWire: dcs.AvgWire,
+	}
+	res.SpeedupVsMDR = flow.Speedup(mdr, dcs)
+	res.WireVsMDR = flow.WireRatio(mdr, dcs)
+
+	sw := &SwitchInfo{
+		MDRFull: flow.MDRSwitchMatrix(region, n),
+		DCS:     flow.DCSSwitchMatrix(region.Arch, dcs.TRoute, n),
+	}
+	// The Diff matrix assembles real bitstreams; when assembly fails the
+	// compile still succeeds, with the reason recorded next to the gap.
+	if diff, derr := flow.MDRDiffSwitchMatrix(region, mapped, mdr); derr == nil {
+		sw.MDRDiff = diff
+	} else {
+		sw.MDRDiffError = derr.Error()
+	}
+	sw.DCSAvg = sw.DCS.Avg()
+	_, _, sw.DCSWorst = sw.DCS.Worst()
+	res.SwitchCost = sw
+	if persistent {
+		if data, jerr := json.Marshal(res); jerr == nil {
+			cache.PutArtifact(key, data)
+		}
+	}
+	return res, cmp, nil
+}

@@ -1,0 +1,293 @@
+// Package store is the content-addressed on-disk artifact store under the
+// flow's caches: the persistence tier that lets a placement annealed (or
+// a group evaluated) by one process be reused by every later process.
+//
+// An entry is addressed by the content hash of its *inputs* (the cache
+// key built by internal/codec) and holds the encoded artifact, prefixed
+// by a checksum of the payload. The contract mirrors flow.Cache's: a
+// store only changes how often work is done, never its results — so every
+// failure mode degrades to a recompute:
+//
+//   - A missing entry is a miss (ErrNotFound).
+//   - A truncated or bit-flipped entry fails its checksum, is deleted,
+//     and reports ErrCorrupt — the caller recomputes and the next Put
+//     heals the entry. Corruption can never poison the cache because the
+//     payload is verified before any decoder sees it.
+//   - Writers are crash- and race-safe: an entry is written to a private
+//     temp file and atomically renamed into place, so readers observe
+//     either nothing or a complete entry, and concurrent writers of one
+//     key (which, by determinism, carry identical bytes) simply race to
+//     publish the same content.
+//
+// The store is size-capped: when the configured budget is exceeded after
+// a write, the least-recently-used entries (read hits refresh an entry's
+// timestamp) are evicted until the total is back under the cap.
+package store
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+)
+
+// ErrNotFound reports a key with no stored entry.
+var ErrNotFound = errors.New("store: artifact not found")
+
+// ErrCorrupt reports an entry whose payload failed verification; the
+// entry has been deleted and the caller should recompute.
+var ErrCorrupt = errors.New("store: artifact corrupt")
+
+// magic opens every entry file; a different prefix means the file is not
+// (or is no longer) a store entry of this format.
+const magic = "MMSTOR1\n"
+
+// Stats counts store traffic. Counters only ever increase; read them via
+// Store.Stats for a consistent-enough snapshot (individual counters are
+// atomic, the set is not).
+type Stats struct {
+	Hits, Misses, Corrupt uint64 // Get outcomes
+	Puts                  uint64
+	BytesRead             uint64 // payload bytes returned by hits
+	BytesWritten          uint64 // payload bytes stored by puts
+	Evictions             uint64 // entries removed by the size cap
+}
+
+// Store is a content-addressed artifact store rooted at one directory.
+// All methods are safe for concurrent use, also across processes sharing
+// the directory.
+type Store struct {
+	root     string
+	maxBytes int64
+
+	mu       sync.Mutex // guards curBytes and eviction
+	curBytes int64
+
+	hits, misses, corrupt, puts atomic.Uint64
+	bytesRead, bytesWritten     atomic.Uint64
+	evictions                   atomic.Uint64
+}
+
+// staleTempAge is how old an unpublished temp file must be before Open
+// treats it as the debris of a crashed writer. Young temp files may
+// belong to a live writer in another process and are left alone — their
+// rename still wins either way.
+const staleTempAge = 15 * time.Minute
+
+// Open creates (if needed) and opens a store rooted at dir. maxBytes caps
+// the total size of stored entries; 0 means uncapped.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{root: dir, maxBytes: maxBytes}
+	s.sweepStaleTemps()
+	s.curBytes = s.diskUsage()
+	return s, nil
+}
+
+// sweepStaleTemps deletes temp files abandoned by crashed or killed
+// writers. They are invisible to Get/evict (dot-prefixed), so without
+// this sweep they would accumulate outside the size cap forever.
+func (s *Store) sweepStaleTemps() {
+	cutoff := time.Now().Add(-staleTempAge)
+	_ = filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			return nil
+		}
+		if fi, err := d.Info(); err == nil && fi.ModTime().Before(cutoff) {
+			_ = os.Remove(path)
+		}
+		return nil
+	})
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Corrupt:      s.corrupt.Load(),
+		Puts:         s.puts.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+		Evictions:    s.evictions.Load(),
+	}
+}
+
+// Path returns the entry path for a key: entries shard into 256
+// hash-prefix directories so no single directory grows unboundedly.
+func (s *Store) Path(key codec.Hash) string {
+	hex := key.Hex()
+	return filepath.Join(s.root, hex[:2], hex[2:])
+}
+
+// Get returns the payload stored under key. It reports ErrNotFound for
+// absent entries and ErrCorrupt (after deleting the entry) for entries
+// that fail verification; both mean "recompute".
+func (s *Store) Get(key codec.Hash) ([]byte, error) {
+	path := s.Path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("store: read %s: %w", path, err)
+	}
+	payload, ok := verify(data)
+	if !ok {
+		s.corrupt.Add(1)
+		s.discard(path, int64(len(data)))
+		return nil, ErrCorrupt
+	}
+	s.hits.Add(1)
+	s.bytesRead.Add(uint64(len(payload)))
+	// Refresh the entry's timestamp so the size-capped eviction below
+	// approximates LRU rather than FIFO. Best effort: a failure (e.g. a
+	// concurrent eviction) costs nothing but eviction precision.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	return payload, nil
+}
+
+// Put stores payload under key, atomically replacing any existing entry,
+// then enforces the size cap.
+func (s *Store) Put(key codec.Hash, payload []byte) error {
+	path := s.Path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	// Write to a private temp file in the destination directory (same
+	// filesystem, so the rename is atomic) and publish with one rename.
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	_, werr := tmp.Write([]byte(magic))
+	if werr == nil {
+		_, werr = tmp.Write(sum[:])
+	}
+	if werr == nil {
+		_, werr = tmp.Write(payload)
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("store: write %s: %w", path, werr)
+	}
+	newSize := int64(len(magic) + sha256.Size + len(payload))
+	var oldSize int64
+	if fi, err := os.Stat(path); err == nil {
+		oldSize = fi.Size()
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: publish %s: %w", path, err)
+	}
+	s.puts.Add(1)
+	s.bytesWritten.Add(uint64(len(payload)))
+	s.mu.Lock()
+	s.curBytes += newSize - oldSize
+	s.mu.Unlock()
+	s.evict()
+	return nil
+}
+
+// verify splits an entry file into its payload, checking the magic and
+// the payload checksum.
+func verify(data []byte) ([]byte, bool) {
+	header := len(magic) + sha256.Size
+	if len(data) < header || string(data[:len(magic)]) != magic {
+		return nil, false
+	}
+	payload := data[header:]
+	sum := sha256.Sum256(payload)
+	for i, b := range data[len(magic):header] {
+		if sum[i] != b {
+			return nil, false
+		}
+	}
+	return payload, true
+}
+
+// discard removes a corrupt entry and adjusts the size accounting.
+func (s *Store) discard(path string, size int64) {
+	if err := os.Remove(path); err == nil {
+		s.mu.Lock()
+		s.curBytes -= size
+		s.mu.Unlock()
+	}
+}
+
+// entry is one stored file during an eviction scan.
+type entry struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// evict removes least-recently-used entries until the store is within its
+// cap. The scan re-derives the true usage, which also resynchronises the
+// in-memory accounting with any concurrent external writers.
+func (s *Store) evict() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.curBytes <= s.maxBytes {
+		return
+	}
+	var entries []entry
+	var total int64
+	s.walk(func(path string, fi fs.FileInfo) {
+		entries = append(entries, entry{path: path, size: fi.Size(), mtime: fi.ModTime()})
+		total += fi.Size()
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	for _, e := range entries {
+		if total <= s.maxBytes {
+			break
+		}
+		if err := os.Remove(e.path); err == nil {
+			total -= e.size
+			s.evictions.Add(1)
+		}
+	}
+	s.curBytes = total
+}
+
+// diskUsage sums the sizes of all stored entries.
+func (s *Store) diskUsage() int64 {
+	var total int64
+	s.walk(func(_ string, fi fs.FileInfo) { total += fi.Size() })
+	return total
+}
+
+// walk visits every entry file (skipping in-flight temp files).
+func (s *Store) walk(fn func(path string, fi fs.FileInfo)) {
+	_ = filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Base(path)[0] == '.' {
+			return nil
+		}
+		if fi, err := d.Info(); err == nil {
+			fn(path, fi)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,245 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+)
+
+func keyOf(s string) codec.Hash { return codec.Sum([]byte(s)) }
+
+func openTest(t *testing.T, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTest(t, 0)
+	key := keyOf("k1")
+	payload := []byte("the artifact payload")
+	if _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get on empty store: %v, want ErrNotFound", err)
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Get returned %q, want %q", got, payload)
+	}
+	// Reopening the directory (a new process) still finds the entry.
+	s2, err := Open(s.Root(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s2.Get(key); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("entry did not survive reopen: %q, %v", got, err)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 1 put", st)
+	}
+}
+
+// TestParallelWritersOneKey: concurrent writers of the same key (identical
+// payloads, as determinism guarantees) and concurrent readers must never
+// observe a partial or corrupt entry. Run under -race in CI.
+func TestParallelWritersOneKey(t *testing.T) {
+	s := openTest(t, 0)
+	key := keyOf("contended")
+	payload := bytes.Repeat([]byte("abcdefgh"), 4096)
+	const writers, readers = 8, 8
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if err := s.Put(key, payload); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 40; j++ {
+				got, err := s.Get(key)
+				if errors.Is(err, ErrNotFound) {
+					continue // writer has not published yet
+				}
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					t.Error("reader observed a wrong payload")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, err := s.Get(key); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("final Get: %v", err)
+	}
+	if st := s.Stats(); st.Corrupt != 0 {
+		t.Fatalf("observed %d corrupt reads under contention", st.Corrupt)
+	}
+}
+
+// TestCorruptEntryFallsBack: a truncated or bit-flipped entry must fail
+// verification, be deleted, and be replaceable — never parsed, never
+// sticky.
+func TestCorruptEntryFallsBack(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		corrupt func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"bitflip", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(out)-1] ^= 0x40 // flip inside the payload
+			return out
+		}},
+		{"emptied", func([]byte) []byte { return nil }},
+		{"foreign", func([]byte) []byte { return []byte("not a store entry at all") }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := openTest(t, 0)
+			key := keyOf("victim")
+			payload := []byte("precious artifact bytes")
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(s.Path(key))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(s.Path(key), tc.corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get(key); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Get on corrupt entry: %v, want ErrCorrupt", err)
+			}
+			// The corrupt entry is gone: the next read is a plain miss...
+			if _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("corrupt entry not deleted: %v", err)
+			}
+			// ...and a recompute-and-Put heals the key.
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := s.Get(key); err != nil || !bytes.Equal(got, payload) {
+				t.Fatalf("healed entry unreadable: %v", err)
+			}
+		})
+	}
+}
+
+// TestSizeCapEvictsOldest: pushing the store over its byte cap evicts the
+// least-recently-used entries; recently read entries survive.
+func TestSizeCapEvictsOldest(t *testing.T) {
+	// Each entry: 8 magic + 32 checksum + 100 payload = 140 bytes.
+	s := openTest(t, 600)
+	payload := bytes.Repeat([]byte("x"), 100)
+	var keys []codec.Hash
+	for i := 0; i < 4; i++ {
+		k := keyOf(fmt.Sprintf("k%d", i))
+		keys = append(keys, k)
+		if err := s.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All four fit (560 <= 600). Make k0 recently used, then overflow.
+	for _, k := range keys {
+		if _, err := s.Get(k); err != nil {
+			t.Fatalf("entry evicted below the cap: %v", err)
+		}
+	}
+	// Backdate k1 so it is the LRU victim.
+	ancient := time.Unix(1, 0)
+	if err := os.Chtimes(s.Path(keys[1]), ancient, ancient); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(keyOf("k4"), payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(keys[1]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("LRU entry survived eviction: %v", err)
+	}
+	if _, err := s.Get(keys[3]); err != nil {
+		t.Fatalf("recent entry was evicted: %v", err)
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatal("no evictions counted")
+	}
+}
+
+// TestStaleTempSweep: Open removes old abandoned writer temp files (they
+// are invisible to the size cap) but leaves young ones for their writer.
+func TestStaleTempSweep(t *testing.T) {
+	s := openTest(t, 0)
+	if err := s.Put(keyOf("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	shard := filepath.Dir(s.Path(keyOf("k")))
+	stale := filepath.Join(shard, ".tmp-stale")
+	young := filepath.Join(shard, ".tmp-young")
+	for _, p := range []string{stale, young} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(s.Root(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived Open")
+	}
+	if _, err := os.Stat(young); err != nil {
+		t.Fatal("young temp file was swept")
+	}
+	if got, err := s.Get(keyOf("k")); err != nil || string(got) != "v" {
+		t.Fatalf("entry damaged by sweep: %v", err)
+	}
+}
+
+// TestDistinctKeysDoNotCollide: two keys differing in any bit land in
+// different entries (also exercises the shard layout).
+func TestDistinctKeysDoNotCollide(t *testing.T) {
+	s := openTest(t, 0)
+	a, b := keyOf("a"), keyOf("b")
+	if err := s.Put(a, []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(b, []byte("B")); err != nil {
+		t.Fatal(err)
+	}
+	ga, _ := s.Get(a)
+	gb, _ := s.Get(b)
+	if !bytes.Equal(ga, []byte("A")) || !bytes.Equal(gb, []byte("B")) {
+		t.Fatalf("payloads crossed: %q %q", ga, gb)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
@@ -441,6 +442,83 @@ func BenchmarkPlaceAnneal(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchRouteWorkload places the full-scale regex engine of
+// benchPlaceCircuit on a deliberately tight fabric: the router needs
+// several negotiation iterations, which is where the incremental engine's
+// partial rip-up pays off.
+func benchRouteWorkload(b *testing.B) (*arch.Graph, []route.Net) {
+	b.Helper()
+	c := benchPlaceCircuit(b)
+	side := arch.MinGridForBlocks(c.NumBlocks(), c.NumPIs()+len(c.POs), 1.2)
+	a := arch.New(side, side, 7)
+	g := arch.BuildGraph(a)
+	prob, cc := place.FromCircuit(c)
+	pl, err := place.Place(prob, a, place.Options{Seed: 1, Effort: 0.15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets, err := route.NetsForPlacedCircuit(g, c, cc, pl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, nets
+}
+
+// BenchmarkRoute measures the connection-based router's cold route on the
+// multi-net regex workload: the FullRipUp baseline (classic whole-netlist
+// PathFinder behaviour), the incremental engine (congested-connections
+// rip-up only), and the incremental engine with a 4-worker parallel
+// iteration. The incremental sub-benchmark reports its measured speed-up
+// over the baseline; the parallel run is checked byte-identical to the
+// serial one before timing starts.
+func BenchmarkRoute(b *testing.B) {
+	g, nets := benchRouteWorkload(b)
+	serial, err := route.Route(g, nets, route.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parallel, err := route.Route(g, nets, route.Options{Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		b.Fatal("parallel routing differs from serial")
+	}
+	fullStart := time.Now()
+	full, err := route.Route(g, nets, route.Options{FullRipUp: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fullDur := time.Since(fullStart)
+
+	b.Run("fullripup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := route.Route(g, nets, route.Options{FullRipUp: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(full.Stats.TotalRerouted()), "reroutes")
+	})
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := route.Route(g, nets, route.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(serial.Stats.TotalRerouted()), "reroutes")
+		if per := b.Elapsed() / time.Duration(b.N); per > 0 {
+			b.ReportMetric(float64(fullDur)/float64(per), "fullrip-speedup-x")
+		}
+	})
+	b.Run("parallel-j4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := route.Route(g, nets, route.Options{Workers: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkPathFinder measures negotiated-congestion routing.

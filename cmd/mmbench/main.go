@@ -12,8 +12,8 @@
 //
 // Usage:
 //
-//	mmbench -exp all|table1|fig5|fig6|fig7|area|ablation|frames|multi [-j 8] [-groups 4]
-//	        [-effort 0.4] [-seed 1] [-full] [-cachedir DIR] [-cachemb MB]
+//	mmbench -exp all|table1|fig5|fig6|fig7|area|ablation|frames|multi [-j 8] [-routej 2]
+//	        [-groups 4] [-effort 0.4] [-seed 1] [-full] [-cachedir DIR] [-cachemb MB]
 //
 // With -cachedir the sweep runs against a persistent content-addressed
 // artifact store: a warm re-run renders the byte-identical report while
@@ -37,6 +37,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, table1, fig5, fig6, fig7, area, ablation, frames, multi")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the group sweep")
+	routej := flag.Int("routej", 1, "parallel workers inside each PathFinder route (results are byte-identical at any value)")
 	groups := flag.Int("groups", 4, "multi-mode groups per suite (paper: 10)")
 	flag.IntVar(groups, "pairs", 4, "deprecated alias for -groups")
 	effort := flag.Float64("effort", 0.4, "annealing effort")
@@ -47,12 +48,13 @@ func main() {
 	cachemb := flag.Int64("cachemb", 0, "artifact-store size cap in MiB (0: uncapped)")
 	flag.Parse()
 
-	sc := experiments.Scale{GroupsPerSuite: *groups, Effort: *effort, Seed: *seed}
+	sc := experiments.Scale{GroupsPerSuite: *groups, Effort: *effort, Seed: *seed, RouteWorkers: *routej}
 	if *full {
 		// Paper-scale defaults; explicitly set flags still win, so e.g.
 		// `-full -effort 1.0` raises the annealing effort threaded through
 		// experiments into flow.Config.PlaceEffort and the anneal kernel.
 		sc = experiments.FullScale()
+		sc.RouteWorkers = *routej
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "groups", "pairs":
@@ -156,6 +158,19 @@ func sweep(suites []*experiments.Suite, sc experiments.Scale, jobs int, verbose 
 	}
 	fmt.Fprintf(os.Stderr, "# sweep: %d groups on %d workers in %v\n",
 		total, jobs, time.Since(sweepStart).Round(time.Millisecond))
+	// Router work summary, on stderr like the cache stats so the report
+	// itself stays byte-identical. Warm store runs decode the same numbers
+	// the cold run computed.
+	iters, rerouted, peak := 0, 0, 0
+	for _, r := range results {
+		iters += r.RouteIters
+		rerouted += r.RerouteConns
+		if r.PeakOveruse > peak {
+			peak = r.PeakOveruse
+		}
+	}
+	fmt.Fprintf(os.Stderr, "# route: %d PathFinder iterations, %d connection reroutes, peak overuse %d\n",
+		iters, rerouted, peak)
 	if verbose {
 		for _, r := range results {
 			experiments.PrintGroup(os.Stdout, r)

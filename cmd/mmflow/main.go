@@ -18,7 +18,8 @@
 // Usage:
 //
 //	mmflow [-k 4] [-effort 0.5] [-refinefrac 0.1] [-seed 1] [-objective wire|edge]
-//	       [-json] [-cachedir DIR] [-remote http://host:8433] mode1.blif mode2.blif [...]
+//	       [-routej 2] [-json] [-cachedir DIR] [-remote http://host:8433]
+//	       mode1.blif mode2.blif [...]
 package main
 
 import (
@@ -42,6 +43,7 @@ func main() {
 	refineFrac := flag.Float64("refinefrac", 0, "TPlace refinement opening-temperature fraction (0 = kernel default 0.1)")
 	seed := flag.Int64("seed", 1, "random seed")
 	objective := flag.String("objective", "wire", "combined-placement objective: wire or edge")
+	routej := flag.Int("routej", 1, "parallel workers inside each PathFinder route (results are byte-identical at any value)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout")
 	verbose := flag.Bool("v", false, "print per-connection activation functions (local runs only)")
 	cachedir := flag.String("cachedir", "", "persistent artifact-store directory for placements (local runs)")
@@ -56,6 +58,7 @@ func main() {
 
 	req := &service.CompileRequest{
 		K: *k, Effort: *effort, RefineFrac: *refineFrac, Seed: *seed, Objective: *objective,
+		RouteWorkers: *routej,
 	}
 	for _, path := range flag.Args() {
 		text, err := os.ReadFile(path)
@@ -158,6 +161,10 @@ func render(res *service.Result) {
 		res.DCS.ReconfigBits, res.Region.LUTBits, res.DCS.ParamRoutingBits, res.DCS.AvgWire)
 	fmt.Printf("speed-up vs MDR: %.2fx   wirelength vs MDR: %.0f%%\n",
 		res.SpeedupVsMDR, 100*res.WireVsMDR)
+	if ri := res.Routing; ri != nil {
+		fmt.Printf("router: %d iterations, %d reroutes over %d connections, peak overuse %d\n",
+			ri.Iterations, ri.Rerouted, ri.Connections, ri.PeakOveruse)
+	}
 	if sw := res.SwitchCost; sw != nil {
 		if sw.MDRDiff == nil {
 			fmt.Fprintf(os.Stderr, "mmflow: diff switch matrix unavailable: %s\n", sw.MDRDiffError)

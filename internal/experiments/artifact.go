@@ -24,7 +24,10 @@ const (
 	// version is hashed into the key, so a bump orphans stale entries
 	// instead of serving results an updated algorithm would no longer
 	// produce.
-	groupResultVersion = 1
+	//
+	// v2: the connection-based incremental router (routing trajectories
+	// changed) and the router-stats fields in the encoding.
+	groupResultVersion = 2
 )
 
 // groupResultKey derives the content-addressed store key of one group
@@ -96,6 +99,9 @@ func encodeGroupResult(res *GroupResult) []byte {
 	encodeMatrix(w, res.MDRSwitch)
 	encodeMatrix(w, res.DiffSwitch)
 	encodeMatrix(w, res.DCSSwitch)
+	w.Int(res.RouteIters)
+	w.Int(res.RerouteConns)
+	w.Int(res.PeakOveruse)
 	return w.Bytes()
 }
 
@@ -130,6 +136,9 @@ func decodeGroupResult(data []byte) (*GroupResult, error) {
 	res.MDRSwitch = decodeMatrix(r)
 	res.DiffSwitch = decodeMatrix(r)
 	res.DCSSwitch = decodeMatrix(r)
+	res.RouteIters = r.Int()
+	res.RerouteConns = r.Int()
+	res.PeakOveruse = r.Int()
 	if err := r.Err(); err != nil {
 		return nil, err
 	}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/gen/regexgen"
 	"repro/internal/lutnet"
 	"repro/internal/netlist"
+	"repro/internal/route"
 )
 
 // Scale controls experiment size so the harness can run anywhere from a
@@ -45,6 +46,10 @@ type Scale struct {
 	// Effort is the annealing effort (paper-equivalent ≈ 1.0).
 	Effort float64
 	Seed   int64
+	// RouteWorkers is the router's per-route worker count (see
+	// flow.Config.RouteWorkers). Results are byte-identical at any value,
+	// so it is not part of any artifact key.
+	RouteWorkers int
 	// Cache shares deterministic intermediate products (routing-resource
 	// graphs, placements) between jobs. Runner fills it automatically;
 	// set it explicitly to extend the sharing across separate runs (e.g.
@@ -73,7 +78,7 @@ type Suite struct {
 }
 
 func (s *Suite) config(sc Scale) flow.Config {
-	return flow.Config{PlaceEffort: sc.Effort, Seed: sc.Seed, Cache: sc.Cache}
+	return flow.Config{PlaceEffort: sc.Effort, Seed: sc.Seed, RouteWorkers: sc.RouteWorkers, Cache: sc.Cache}
 }
 
 // BuildSuites generates the three benchmark suites of §IV-A with the
@@ -328,6 +333,13 @@ type GroupResult struct {
 	MDRSwitch  flow.SwitchMatrix // full-region rewrite
 	DiffSwitch flow.SwitchMatrix // actually differing bitstream bits
 	DCSSwitch  flow.SwitchMatrix // LUT bits + differing parameterised bits (WL objective)
+
+	// Router work statistics, aggregated over the group's final routes
+	// (MDR per mode plus both DCS objectives). Deterministic, so they are
+	// encoded in the stored artifact like every other field.
+	RouteIters   int // summed negotiation iterations
+	RerouteConns int // summed connection reroutes
+	PeakOveruse  int // worst single-mode node overuse seen
 }
 
 // NumModes returns the group's mode count.
@@ -430,6 +442,13 @@ func RunGroup(suite *Suite, group []int, sc Scale) (*GroupResult, error) {
 		DiffSwitch: diffSwitch,
 		DCSSwitch:  flow.DCSSwitchMatrix(region.Arch, wl.TRoute, len(modes)),
 	}
+	var sum route.Summary
+	for _, m := range mdr.PerMode {
+		sum.Add(m.Routing.Stats)
+	}
+	sum.Add(em.TRoute.Route.Stats)
+	sum.Add(wl.TRoute.Route.Stats)
+	res.RouteIters, res.RerouteConns, res.PeakOveruse = sum.Iterations, sum.Rerouted, sum.PeakOveruse
 	if persistent {
 		sc.Cache.PutArtifact(key, encodeGroupResult(res))
 	}

@@ -40,6 +40,12 @@ type Config struct {
 	RefineTempFraction float64
 	Seed               int64
 	RouteOpts          route.Options
+	// RouteWorkers sets the router's worker count (route.Options.Workers)
+	// for every route this configuration runs — MDR per-mode routing,
+	// TRoute, and the SizeRegion bisection probes. Routing results are
+	// byte-identical at any value; only the wall clock changes. 0 keeps
+	// RouteOpts.Workers (default: serial).
+	RouteWorkers int
 	// Cache, when non-nil, memoizes routing-resource graphs and placements
 	// across calls (see Cache), and — when backed by a persistent artifact
 	// store — across processes. Results are identical with or without it;
@@ -69,6 +75,9 @@ func (c Config) filled() Config {
 	}
 	if c.RouteOpts.PresFacMult == 0 {
 		c.RouteOpts.PresFacMult = 1.4
+	}
+	if c.RouteOpts.Workers == 0 {
+		c.RouteOpts.Workers = c.RouteWorkers
 	}
 	return c
 }

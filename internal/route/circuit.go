@@ -44,19 +44,29 @@ func NetsForPlacedCircuit(g *arch.Graph, c *lutnet.Circuit, cc place.CircuitCell
 			return nil, err
 		}
 		n := Net{Name: nt.Src.String(), Source: src}
+		// Dedup sink nodes: a block consuming the signal on several input
+		// pins shares one SINK node and one routed branch (the router
+		// rejects duplicate sinks).
+		seen := map[int32]bool{}
+		addSink := func(sk int32) {
+			if !seen[sk] {
+				seen[sk] = true
+				n.Sinks = append(n.Sinks, sk)
+			}
+		}
 		for _, bp := range nt.BlockIn {
 			sk, err := sinkNode(cc.BlockCell(bp.Block))
 			if err != nil {
 				return nil, err
 			}
-			n.Sinks = append(n.Sinks, sk)
+			addSink(sk)
 		}
 		for _, po := range nt.POSinks {
 			sk, err := sinkNode(cc.POCell(po))
 			if err != nil {
 				return nil, err
 			}
-			n.Sinks = append(n.Sinks, sk)
+			addSink(sk)
 		}
 		if len(n.Sinks) > 0 {
 			nets = append(nets, n)

@@ -1,21 +1,32 @@
-// Package route implements a PathFinder negotiated-congestion router over
-// the routing-resource graph of package arch: iterative rip-up and reroute
-// with present-congestion and history costs, A*-accelerated Dijkstra per
-// sink, and per-net routing trees recording the programmable switches used
-// (the routing configuration bits).
+// Package route implements a connection-based PathFinder router over the
+// routing-resource graph of package arch: negotiated congestion with
+// present and history costs, A*-accelerated Dijkstra per connection, and
+// per-net routing trees recording the programmable switches used (the
+// routing configuration bits).
 //
-// The inner search is allocation-free in steady state: the priority queue
-// is a value-based binary heap and all per-net working state (visited
-// costs, backtrace pointers, tree membership, subtree mode masks) lives in
-// scratch buffers owned by the router and reused across nets and
-// iterations. The routing-resource graph itself is never written, so one
-// graph can be shared by any number of concurrently running routers.
+// The engine is incremental: every net is decomposed into source→sink
+// connections, each holding its complete source-rooted path, and a
+// negotiation iteration rips up and reroutes only the connections that
+// cross congested nodes (plus a small history-driven set) instead of the
+// whole netlist. A net's tree is the union of its connections' paths —
+// new connections attach to the existing tree, so partial reroutes reuse
+// everything that already converged.
+//
+// Iterations are parallel and deterministic: connections are processed in
+// fixed-size batches; a bounded worker pool routes a batch against frozen
+// congestion state, and results are committed serially in canonical net
+// order. A commit that would newly overuse a node another net claimed in
+// the same batch is requeued and rerouted serially against live state.
+// Because batch composition and commit order never depend on the worker
+// count, the same seed yields byte-identical routings at any Workers
+// value — the same rule mmbench applies to its -j flag.
+//
+// The routing-resource graph itself is never written, so one graph can be
+// shared by any number of concurrently running routers.
 package route
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"repro/internal/arch"
 )
@@ -56,11 +67,64 @@ type Tree struct {
 	NodeMasks []uint64
 }
 
+// Stats describes the work one Route call performed.
+type Stats struct {
+	// Iterations is the number of negotiation iterations executed.
+	Iterations int
+	// Connections is the number of source→sink connections in the netlist.
+	Connections int
+	// Rerouted[i] is the number of connections ripped up and rerouted in
+	// iteration i+1. Rerouted[0] == Connections (the cold route); later
+	// entries shrink as congestion localises.
+	Rerouted []int
+	// Requeued counts parallel commits that conflicted and fell back to a
+	// serial reroute. Deterministic: conflicts depend on batch composition
+	// and commit order, not on worker scheduling.
+	Requeued int
+	// PeakOveruse is the worst single-mode overuse observed on any node
+	// across all iterations.
+	PeakOveruse int
+}
+
+// TotalRerouted sums the per-iteration reroute counts.
+func (s Stats) TotalRerouted() int {
+	t := 0
+	for _, n := range s.Rerouted {
+		t += n
+	}
+	return t
+}
+
+// Summary is the scalar aggregate of one or more routes' Stats — the one
+// place that knows which fields sum and which take the maximum, shared by
+// every layer that reports router work (the compile service's JSON, the
+// experiment sweep's group artifacts).
+type Summary struct {
+	Iterations  int
+	Connections int
+	Rerouted    int
+	Requeued    int
+	PeakOveruse int
+}
+
+// Add folds one route's Stats into the aggregate.
+func (a *Summary) Add(s Stats) {
+	a.Iterations += s.Iterations
+	a.Connections += s.Connections
+	a.Rerouted += s.TotalRerouted()
+	a.Requeued += s.Requeued
+	if s.PeakOveruse > a.PeakOveruse {
+		a.PeakOveruse = s.PeakOveruse
+	}
+}
+
 // Result is a complete routing.
 type Result struct {
 	Trees []Tree
 	// Iterations is the number of PathFinder iterations needed.
 	Iterations int
+	// Stats details the incremental engine's work.
+	Stats Stats
 }
 
 // Options tunes the router.
@@ -75,6 +139,14 @@ type Options struct {
 	// pins and sinks — each mode reconfigures the switches for itself.
 	// Default 1 (ordinary single-mode routing).
 	ModeCount int
+	// Workers is the number of goroutines routing each batch of
+	// connections (default 1). The result is byte-identical at any value;
+	// only the wall clock changes.
+	Workers int
+	// FullRipUp disables the incremental engine: every connection is
+	// ripped up and rerouted on every iteration, as in classic whole-net
+	// PathFinder. The baseline for BenchmarkRoute and a debugging aid.
+	FullRipUp bool
 }
 
 func (o *Options) fill() {
@@ -96,6 +168,16 @@ func (o *Options) fill() {
 	if o.ModeCount == 0 {
 		o.ModeCount = 1
 	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	// More workers than a batch has connections can never help, and each
+	// worker owns O(NumNodes) search scratch — clamping bounds the
+	// allocation against absurd requests (the knob arrives over the wire
+	// via the compile service).
+	if o.Workers > batchConns {
+		o.Workers = batchConns
+	}
 }
 
 // ErrUnroutable is returned when congestion cannot be resolved.
@@ -109,51 +191,40 @@ func (e *ErrUnroutable) Error() string {
 	return fmt.Sprintf("route: %d overused nodes after %d iterations%s", e.Overused, e.Iters, e.Detail)
 }
 
-// pqItem is one priority-queue entry. Items are values, not pointers: the
-// heap is a plain slice that is reset (not freed) between searches, so a
-// search allocates nothing once the slice has grown to its working size.
-type pqItem struct {
-	node int32
-	cost float64 // path cost so far
-	est  float64 // cost + A* lower bound
+// ErrInvalidNet reports a malformed net specification. The router rejects
+// these up front: a SinkMasks slice not parallel to Sinks, or a sink node
+// listed twice, would silently corrupt the tree's mode-mask accounting if
+// routed (callers that can legitimately hit one sink node from several
+// logical pins must dedup, unioning the masks — see troute.BuildNets and
+// NetsForPlacedCircuit).
+type ErrInvalidNet struct {
+	Net    string
+	Reason string
 }
 
-// less orders the heap by estimated total cost, breaking ties by node id so
-// the search (and therefore the whole routing) is deterministic.
-func (a pqItem) less(b pqItem) bool {
-	if a.est != b.est {
-		return a.est < b.est
+func (e *ErrInvalidNet) Error() string {
+	return fmt.Sprintf("route: net %q: %s", e.Net, e.Reason)
+}
+
+// validateNets rejects malformed net specifications before any state is
+// built.
+func validateNets(nets []Net) error {
+	seen := map[int32]int{}
+	for i := range nets {
+		n := &nets[i]
+		if n.SinkMasks != nil && len(n.SinkMasks) != len(n.Sinks) {
+			return &ErrInvalidNet{Net: n.Name, Reason: fmt.Sprintf(
+				"SinkMasks has %d entries for %d sinks", len(n.SinkMasks), len(n.Sinks))}
+		}
+		for _, s := range n.Sinks {
+			if prev, ok := seen[s]; ok && prev == i {
+				return &ErrInvalidNet{Net: n.Name, Reason: fmt.Sprintf(
+					"duplicate sink node %d", s)}
+			}
+			seen[s] = i
+		}
 	}
-	return a.node < b.node
-}
-
-// router carries the PathFinder state. Occupancy is per mode: a node is
-// overused only if some single mode oversubscribes it, so nets of disjoint
-// mode masks share resources freely.
-type router struct {
-	g    *arch.Graph
-	opt  Options
-	cap  []int16
-	occ  [][]int16   // [mode][node]
-	hist [][]float64 // [mode][node]: congestion history is per mode, so
-	// contention in one mode does not repel nets of other modes from
-	// resources they could legally share
-	presFac  float64
-	curMask  uint64 // mask of the branch being routed
-	histMask uint64 // mask for history pricing (see nodeCost)
-	allMask  uint64
-
-	// Reusable scratch, sized to the graph once per Route call. visited and
-	// nodeMask are kept clean between uses via touched lists so resetting
-	// costs O(touched), not O(nodes).
-	heap      []pqItem
-	prev      []int32   // backtrace pointer per node
-	visited   []float64 // best path cost per node (MaxFloat64 = unvisited)
-	touched   []int32   // nodes whose visited entry must be reset
-	path      []int32   // backtraced tree→sink path of the last search
-	inTree    []bool    // membership of the net currently being routed
-	nodeMask  []uint64  // subtree mode-mask accumulator per node
-	sinkOrder []int     // per-net sink visiting order
+	return nil
 }
 
 func baseCost(t arch.NodeType) float64 {
@@ -192,371 +263,16 @@ func capacities(g *arch.Graph) []int16 {
 	return caps
 }
 
-func (r *router) nodeCost(n int32) float64 {
-	b := baseCost(r.g.Nodes[n].Type)
-	// Worst overuse over the modes the current branch is active in;
-	// history over histMask. For ≥3 modes histMask is the whole net's
-	// mask: the prefix shared by a net's branches carries the union of
-	// their modes, so a branch that prices only its own modes can keep
-	// re-choosing a prefix whose congestion lives in a sibling branch's
-	// mode — the history term is what breaks that deadlock.
-	var worst int16
-	var h float64
-	for m := 0; m < len(r.occ); m++ {
-		if r.histMask>>uint(m)&1 == 1 && r.hist[m][n] > h {
-			h = r.hist[m][n]
-		}
-		if r.curMask>>uint(m)&1 == 0 {
-			continue
-		}
-		if o := r.occ[m][n]; o > worst {
-			worst = o
-		}
-	}
-	over := float64(worst + 1 - r.cap[n])
-	pres := 1.0
-	if over > 0 {
-		pres += r.presFac * over
-	}
-	return b * (1 + h) * pres
-}
-
-// adjustOcc adds delta to the occupancy of node n in every mode of mask.
-func (r *router) adjustOcc(n int32, mask uint64, delta int16) {
-	for m := 0; m < len(r.occ); m++ {
-		if mask>>uint(m)&1 == 1 {
-			r.occ[m][n] += delta
-		}
-	}
-}
-
-// maskOf normalises a net's mode mask.
-func (r *router) maskOf(n *Net) uint64 {
-	if n.ModeMask == 0 {
-		return r.allMask
-	}
-	return n.ModeMask & r.allMask
-}
-
-// lowerBound estimates the remaining cost from node n to the target sink
-// (Manhattan distance in channel units; admissible for unit-length wires).
-func (r *router) lowerBound(n, target int32) float64 {
-	a, b := r.g.Nodes[n], r.g.Nodes[target]
-	dx := math.Abs(float64(a.X - b.X))
-	dy := math.Abs(float64(a.Y - b.Y))
-	return (dx + dy) * r.opt.AStarFac
-}
-
-// heapPush inserts a value item, sifting up.
-func (r *router) heapPush(it pqItem) {
-	q := append(r.heap, it)
-	i := len(q) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !q[i].less(q[p]) {
-			break
-		}
-		q[i], q[p] = q[p], q[i]
-		i = p
-	}
-	r.heap = q
-}
-
-// heapPop removes and returns the minimum item, sifting down.
-func (r *router) heapPop() pqItem {
-	q := r.heap
-	top := q[0]
-	n := len(q) - 1
-	q[0] = q[n]
-	q = q[:n]
-	i := 0
-	for {
-		small := i
-		if l := 2*i + 1; l < n && q[l].less(q[small]) {
-			small = l
-		}
-		if rt := 2*i + 2; rt < n && q[rt].less(q[small]) {
-			small = rt
-		}
-		if small == i {
-			break
-		}
-		q[i], q[small] = q[small], q[i]
-		i = small
-	}
-	r.heap = q
-	return top
-}
-
 // Route routes all nets, returning per-net trees. The graph is read-only
 // throughout; all mutable state is private to this call, so concurrent
 // Route calls may share g.
 func Route(g *arch.Graph, nets []Net, opt Options) (*Result, error) {
 	opt.fill()
-	r := &router{
-		g:   g,
-		opt: opt,
-		cap: capacities(g),
+	if err := validateNets(nets); err != nil {
+		return nil, err
 	}
-	r.occ = make([][]int16, opt.ModeCount)
-	r.hist = make([][]float64, opt.ModeCount)
-	for m := range r.occ {
-		r.occ[m] = make([]int16, g.NumNodes())
-		r.hist[m] = make([]float64, g.NumNodes())
-	}
-	if opt.ModeCount >= 64 {
-		r.allMask = ^uint64(0)
-	} else {
-		r.allMask = uint64(1)<<uint(opt.ModeCount) - 1
-	}
-
-	// Stable net order: nets active in more modes first (they have the
-	// least resource-sharing freedom), then high-fanout, then by name.
-	order := make([]int, len(nets))
-	for i := range order {
-		order[i] = i
-	}
-	popcount := func(v uint64) int {
-		n := 0
-		for ; v != 0; v &= v - 1 {
-			n++
-		}
-		return n
-	}
-	sort.SliceStable(order, func(i, j int) bool {
-		a, b := nets[order[i]], nets[order[j]]
-		pa, pb := popcount(r.maskOf(&a)), popcount(r.maskOf(&b))
-		if pa != pb {
-			return pa > pb
-		}
-		if len(a.Sinks) != len(b.Sinks) {
-			return len(a.Sinks) > len(b.Sinks)
-		}
-		return a.Name < b.Name
-	})
-
-	trees := make([]Tree, len(nets))
-	r.presFac = opt.FirstPresFac
-	r.heap = make([]pqItem, 0, 256)
-	r.prev = make([]int32, g.NumNodes())
-	r.visited = make([]float64, g.NumNodes())
-	for i := range r.visited {
-		r.visited[i] = math.MaxFloat64
-	}
-	r.inTree = make([]bool, g.NumNodes())
-	r.nodeMask = make([]uint64, g.NumNodes())
-
-	for iter := 1; iter <= opt.MaxIters; iter++ {
-		for _, ni := range order {
-			// Rip up the previous tree of this net.
-			for i, n := range trees[ni].Nodes {
-				r.adjustOcc(n, trees[ni].NodeMasks[i], -1)
-			}
-			tree, err := r.routeNet(&nets[ni])
-			if err != nil {
-				return nil, fmt.Errorf("route: net %q: %w", nets[ni].Name, err)
-			}
-			trees[ni] = tree
-			for i, n := range tree.Nodes {
-				r.adjustOcc(n, tree.NodeMasks[i], 1)
-			}
-		}
-		// Congestion check: a node is overused if any single mode
-		// oversubscribes it; history accumulates in that mode only.
-		overused := 0
-		for n := 0; n < g.NumNodes(); n++ {
-			over := false
-			for m := range r.occ {
-				if r.occ[m][n] > r.cap[n] {
-					over = true
-					r.hist[m][n] += opt.AccFac * float64(r.occ[m][n]-r.cap[n])
-				}
-			}
-			if over {
-				overused++
-			}
-		}
-		if overused == 0 {
-			return &Result{Trees: trees, Iterations: iter}, nil
-		}
-		if iter == 1 {
-			r.presFac = opt.FirstPresFac
-		} else {
-			r.presFac *= opt.PresFacMult
-		}
-		if r.presFac > 1e6 {
-			r.presFac = 1e6
-		}
-	}
-	overused := 0
-	detail := ""
-	for n := 0; n < g.NumNodes(); n++ {
-		var worst int16
-		for m := range r.occ {
-			if r.occ[m][n] > worst {
-				worst = r.occ[m][n]
-			}
-		}
-		if worst > r.cap[n] {
-			overused++
-			if overused <= 3 {
-				detail += fmt.Sprintf("; node %d %v occ=%d cap=%d", n, g.Nodes[n], worst, r.cap[n])
-			}
-		}
-	}
-	return nil, &ErrUnroutable{Overused: overused, Iters: opt.MaxIters, Detail: detail}
-}
-
-// routeNet routes one net: sinks are connected one at a time, each found by
-// an A* search seeded with the entire current routing tree. After routing,
-// every tree node is annotated with the union mask of the sinks it serves.
-func (r *router) routeNet(n *Net) (Tree, error) {
-	netMask := r.maskOf(n)
-	sinkMask := func(i int) uint64 {
-		if n.SinkMasks == nil {
-			return netMask
-		}
-		m := n.SinkMasks[i] & r.allMask
-		if m == 0 {
-			return netMask
-		}
-		return m
-	}
-
-	tree := Tree{Nodes: []int32{n.Source}}
-	r.inTree[n.Source] = true
-	defer func() {
-		for _, node := range tree.Nodes {
-			r.inTree[node] = false
-			r.nodeMask[node] = 0
-		}
-	}()
-
-	// Deterministic sink order: nearest to the source first.
-	idx := r.sinkOrder[:0]
-	for i := range n.Sinks {
-		idx = append(idx, i)
-	}
-	r.sinkOrder = idx
-	src := r.g.Nodes[n.Source]
-	sort.SliceStable(idx, func(i, j int) bool {
-		a, b := r.g.Nodes[n.Sinks[idx[i]]], r.g.Nodes[n.Sinks[idx[j]]]
-		da := math.Abs(float64(a.X-src.X)) + math.Abs(float64(a.Y-src.Y))
-		db := math.Abs(float64(b.X-src.X)) + math.Abs(float64(b.Y-src.Y))
-		if da != db {
-			return da < db
-		}
-		return n.Sinks[idx[i]] < n.Sinks[idx[j]]
-	})
-
-	// r.nodeMask doubles as the per-sink mask accumulator: seeded with each
-	// sink's own mask here, completed into subtree masks below.
-	for _, si := range idx {
-		sink := n.Sinks[si]
-		r.curMask = sinkMask(si)
-		// History pricing: per-branch for 1-2 modes (the paper's tuning,
-		// preserved bit-for-bit), net-wide from 3 modes up — see nodeCost.
-		r.histMask = r.curMask
-		if len(r.occ) >= 3 {
-			r.histMask = netMask
-		}
-		r.nodeMask[sink] |= sinkMask(si)
-		if r.inTree[sink] {
-			// Multiple logical sinks can share one SINK node (e.g. two
-			// input pins of the same block): account occupancy once per
-			// use by adding the node again.
-			tree.Nodes = append(tree.Nodes, sink)
-			continue
-		}
-		path, err := r.search(tree.Nodes, sink)
-		if err != nil {
-			return Tree{}, err
-		}
-		// path runs tree→sink; path[0] is already in the tree.
-		for i := 1; i < len(path); i++ {
-			tree.Edges = append(tree.Edges, Edge{From: path[i-1], To: path[i]})
-			if !r.inTree[path[i]] {
-				r.inTree[path[i]] = true
-				tree.Nodes = append(tree.Nodes, path[i])
-			}
-		}
-	}
-
-	// Annotate nodes with the union of downstream sink masks. Edges are in
-	// discovery order, so the edge into a node precedes every edge out of
-	// it; one reverse sweep therefore folds each subtree into its root.
-	for i := len(tree.Edges) - 1; i >= 0; i-- {
-		e := tree.Edges[i]
-		r.nodeMask[e.From] |= r.nodeMask[e.To]
-	}
-	tree.NodeMasks = make([]uint64, len(tree.Nodes))
-	for i, node := range tree.Nodes {
-		m := r.nodeMask[node]
-		if m == 0 {
-			m = netMask // isolated source with no sinks
-		}
-		// Duplicate sink entries each count once with the sink's own mask.
-		tree.NodeMasks[i] = m
-	}
-	return tree, nil
-}
-
-// search finds the cheapest path from any tree node to the sink. The
-// returned slice is scratch owned by the router, valid until the next
-// search call.
-func (r *router) search(treeNodes []int32, sink int32) ([]int32, error) {
-	const unvisited = math.MaxFloat64
-	r.heap = r.heap[:0]
-	r.touched = r.touched[:0]
-	push := func(node int32, cost float64, from int32) {
-		if r.visited[node] <= cost {
-			return
-		}
-		if r.visited[node] == unvisited {
-			r.touched = append(r.touched, node)
-		}
-		r.visited[node] = cost
-		r.prev[node] = from
-		r.heapPush(pqItem{node: node, cost: cost, est: cost + r.lowerBound(node, sink)})
-	}
-	defer func() {
-		for _, n := range r.touched {
-			r.visited[n] = unvisited
-		}
-	}()
-	for _, n := range treeNodes {
-		push(n, 0, -1)
-	}
-	for len(r.heap) > 0 {
-		it := r.heapPop()
-		if it.cost > r.visited[it.node] {
-			continue
-		}
-		if it.node == sink {
-			// Backtrace into the reusable path buffer, then reverse it in
-			// place so it runs tree→sink.
-			path := r.path[:0]
-			for n := sink; n != -1; n = r.prev[n] {
-				path = append(path, n)
-				if r.prev[n] == -1 {
-					break
-				}
-			}
-			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-				path[i], path[j] = path[j], path[i]
-			}
-			r.path = path
-			return path, nil
-		}
-		for _, to := range r.g.Edges(it.node) {
-			// Sinks other than the target are dead ends.
-			if r.g.Nodes[to].Type == arch.NodeSink && to != sink {
-				continue
-			}
-			push(to, it.cost+r.nodeCost(to), it.node)
-		}
-	}
-	return nil, fmt.Errorf("no path to sink %d (%v)", sink, r.g.Nodes[sink])
+	r := newRouter(g, nets, opt)
+	return r.run()
 }
 
 // WireLength counts the wire-segment nodes of a tree.

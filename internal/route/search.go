@@ -1,0 +1,267 @@
+package route
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+)
+
+// pqItem is one priority-queue entry. Items are values, not pointers: the
+// heap is a plain slice that is reset (not freed) between searches, so a
+// search allocates nothing once the slice has grown to its working size.
+type pqItem struct {
+	node int32
+	cost float64 // path cost so far
+	est  float64 // cost + A* lower bound
+}
+
+// less orders the heap by estimated total cost, breaking ties by node id so
+// the search (and therefore the whole routing) is deterministic.
+func (a pqItem) less(b pqItem) bool {
+	if a.est != b.est {
+		return a.est < b.est
+	}
+	return a.node < b.node
+}
+
+// searcher is the per-worker search state: the A* scratch plus the
+// net-local tree view (seed membership and parent pointers) used to grow
+// full source-rooted paths. Every worker owns one, so batch routing needs
+// no locks — workers read the router's frozen congestion arrays and write
+// only their own searcher.
+type searcher struct {
+	r *router
+
+	heap    []pqItem
+	prev    []int32   // backtrace pointer per node
+	visited []float64 // best path cost per node (MaxFloat64 = unvisited)
+	touched []int32   // nodes whose visited entry must be reset
+	path    []int32   // backtraced attach→sink segment of the last search
+
+	curMask  uint64 // mask of the connection being routed
+	histMask uint64 // mask for history pricing (see router.nodeCost)
+
+	// Net-local tree view, wiped via seedList after each net.
+	inTree   []bool
+	parent   []int32 // tree parent per node, for source-prefix reconstruction
+	seedList []int32
+	prefix   []int32 // scratch for the source→attach prefix walk
+}
+
+func newSearcher(r *router) *searcher {
+	n := r.g.NumNodes()
+	s := &searcher{
+		r:       r,
+		prev:    make([]int32, n),
+		visited: make([]float64, n),
+		inTree:  make([]bool, n),
+		parent:  make([]int32, n),
+		heap:    make([]pqItem, 0, 256),
+	}
+	for i := range s.visited {
+		s.visited[i] = math.MaxFloat64
+	}
+	return s
+}
+
+// seedTree loads net N's current tree (the union of its routed
+// connections' paths) into the searcher's membership and parent arrays.
+func (s *searcher) seedTree(N *netRT) {
+	s.seedList = s.seedList[:0]
+	s.addSeed(N.source, -1)
+	for ci := range N.conns {
+		p := N.conns[ci].path
+		for i := 1; i < len(p); i++ {
+			if !s.inTree[p[i]] {
+				s.addSeed(p[i], p[i-1])
+			}
+		}
+	}
+}
+
+func (s *searcher) addSeed(node, parent int32) {
+	s.inTree[node] = true
+	s.parent[node] = parent
+	s.seedList = append(s.seedList, node)
+}
+
+// wipeTree clears the net-local view in O(touched).
+func (s *searcher) wipeTree() {
+	for _, n := range s.seedList {
+		s.inTree[n] = false
+	}
+	s.seedList = s.seedList[:0]
+}
+
+// routeJob routes every dirty connection of one net against the frozen
+// congestion state, filling jb.paths with full source→sink paths. The
+// net's tree grows connection by connection within the job, so later
+// connections attach to segments found for earlier ones.
+func (s *searcher) routeJob(jb *job) {
+	N := &s.r.nets[jb.net]
+	s.seedTree(N)
+	defer s.wipeTree()
+	jb.paths = make([][]int32, len(jb.dirty))
+	for k, ci := range jb.dirty {
+		p, err := s.connect(N, &N.conns[ci])
+		if err != nil {
+			jb.err = err
+			return
+		}
+		jb.paths[k] = p
+	}
+}
+
+// routeOne reroutes a single connection (the serial requeue fallback)
+// against live congestion state.
+func (s *searcher) routeOne(N *netRT, ci int32) ([]int32, error) {
+	s.seedTree(N)
+	defer s.wipeTree()
+	return s.connect(N, &N.conns[ci])
+}
+
+// connect finds a path for one connection: an A* search seeded with the
+// whole current tree, then the attach-node prefix walk that turns the
+// backtraced segment into a full source→sink path. The tree view is
+// extended with the new segment so subsequent connections can attach to
+// it.
+func (s *searcher) connect(N *netRT, c *conn) ([]int32, error) {
+	s.curMask = c.mask
+	// History pricing: per-branch for 1-2 modes (the paper's tuning),
+	// net-wide from 3 modes up — see router.nodeCost.
+	s.histMask = c.mask
+	if len(s.r.occ) >= 3 {
+		s.histMask = N.mask
+	}
+	seg, err := s.search(c.sink)
+	if err != nil {
+		return nil, err
+	}
+	// seg runs attach→sink with seg[0] in the tree. Reconstruct the
+	// source→attach prefix from the parent pointers, then append.
+	s.prefix = s.prefix[:0]
+	for n := seg[0]; n != -1; n = s.parent[n] {
+		s.prefix = append(s.prefix, n)
+	}
+	full := make([]int32, 0, len(s.prefix)+len(seg)-1)
+	for i := len(s.prefix) - 1; i >= 0; i-- {
+		full = append(full, s.prefix[i])
+	}
+	full = append(full, seg[1:]...)
+	for i := 1; i < len(seg); i++ {
+		if !s.inTree[seg[i]] {
+			s.addSeed(seg[i], seg[i-1])
+		}
+	}
+	return full, nil
+}
+
+// search finds the cheapest path from any tree node to the sink. The
+// returned slice is scratch owned by the searcher, valid until the next
+// search call.
+func (s *searcher) search(sink int32) ([]int32, error) {
+	const unvisited = math.MaxFloat64
+	r := s.r
+	s.heap = s.heap[:0]
+	s.touched = s.touched[:0]
+	push := func(node int32, cost float64, from int32) {
+		if s.visited[node] <= cost {
+			return
+		}
+		if s.visited[node] == unvisited {
+			s.touched = append(s.touched, node)
+		}
+		s.visited[node] = cost
+		s.prev[node] = from
+		s.heapPush(pqItem{node: node, cost: cost, est: cost + s.lowerBound(node, sink)})
+	}
+	defer func() {
+		for _, n := range s.touched {
+			s.visited[n] = unvisited
+		}
+	}()
+	for _, n := range s.seedList {
+		push(n, 0, -1)
+	}
+	for len(s.heap) > 0 {
+		it := s.heapPop()
+		if it.cost > s.visited[it.node] {
+			continue
+		}
+		if it.node == sink {
+			// Backtrace into the reusable path buffer, then reverse it in
+			// place so it runs attach→sink.
+			path := s.path[:0]
+			for n := sink; n != -1; n = s.prev[n] {
+				path = append(path, n)
+				if s.prev[n] == -1 {
+					break
+				}
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			s.path = path
+			return path, nil
+		}
+		for _, to := range r.g.Edges(it.node) {
+			// Sinks other than the target are dead ends.
+			if r.g.Nodes[to].Type == arch.NodeSink && to != sink {
+				continue
+			}
+			push(to, it.cost+r.nodeCost(to, s.curMask, s.histMask), it.node)
+		}
+	}
+	return nil, fmt.Errorf("no path to sink %d (%v)", sink, r.g.Nodes[sink])
+}
+
+// lowerBound estimates the remaining cost from node n to the target sink
+// (Manhattan distance in channel units; admissible for unit-length wires).
+func (s *searcher) lowerBound(n, target int32) float64 {
+	a, b := s.r.g.Nodes[n], s.r.g.Nodes[target]
+	dx := math.Abs(float64(a.X - b.X))
+	dy := math.Abs(float64(a.Y - b.Y))
+	return (dx + dy) * s.r.opt.AStarFac
+}
+
+// heapPush inserts a value item, sifting up.
+func (s *searcher) heapPush(it pqItem) {
+	q := append(s.heap, it)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q[i].less(q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	s.heap = q
+}
+
+// heapPop removes and returns the minimum item, sifting down.
+func (s *searcher) heapPop() pqItem {
+	q := s.heap
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < n && q[l].less(q[small]) {
+			small = l
+		}
+		if rt := 2*i + 2; rt < n && q[rt].less(q[small]) {
+			small = rt
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	s.heap = q
+	return top
+}

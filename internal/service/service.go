@@ -15,6 +15,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/merge"
 	"repro/internal/netlist"
+	"repro/internal/route"
 )
 
 // Mode is one BLIF mode description of a compile request. Name, when set,
@@ -41,6 +42,11 @@ type CompileRequest struct {
 	// comparison needs them); this picks which one the flat fields
 	// describe.
 	Objective string `json:"objective,omitempty"`
+	// RouteWorkers sets the router's worker count. Routing is
+	// byte-identical at any value, so this knob is deliberately NOT part
+	// of RequestKey: requests differing only in worker count share one
+	// cached result.
+	RouteWorkers int `json:"route_workers,omitempty"`
 }
 
 // ModeInfo summarises one mapped mode.
@@ -92,6 +98,25 @@ type SwitchInfo struct {
 	DCSWorst     int               `json:"dcs_worst"`
 }
 
+// RoutingInfo aggregates the router's work statistics over every final
+// route of the compile (the MDR per-mode routes plus both DCS TRoute
+// passes; region-sizing probes are excluded). Deterministic — the numbers
+// do not depend on the worker count — so they are safely part of the
+// cached result.
+type RoutingInfo struct {
+	// Iterations is the summed negotiation iteration count.
+	Iterations int `json:"iterations"`
+	// Connections is the summed source→sink connection count.
+	Connections int `json:"connections"`
+	// Rerouted is the summed number of connection reroutes (the cold
+	// route counts each connection once; congested iterations add more).
+	Rerouted int `json:"rerouted"`
+	// PeakOveruse is the worst single-mode node overuse seen anywhere.
+	PeakOveruse int `json:"peak_overuse"`
+	// Requeued counts parallel commits retried serially after conflicts.
+	Requeued int `json:"requeued,omitempty"`
+}
+
 // Result is the compile response. Error is set (and every other field
 // possibly partial) when the flow fails.
 type Result struct {
@@ -104,6 +129,8 @@ type Result struct {
 
 	SpeedupVsMDR float64 `json:"speedup_vs_mdr,omitempty"`
 	WireVsMDR    float64 `json:"wire_vs_mdr,omitempty"`
+
+	Routing *RoutingInfo `json:"routing,omitempty"`
 
 	SwitchCost *SwitchInfo `json:"switch_cost,omitempty"`
 }
@@ -127,6 +154,7 @@ func (req *CompileRequest) config(cache *flow.Cache) flow.Config {
 		PlaceEffort:        req.Effort,
 		RefineTempFraction: req.RefineFrac,
 		Seed:               req.Seed,
+		RouteWorkers:       req.RouteWorkers,
 		Cache:              cache,
 	}
 }
@@ -176,7 +204,10 @@ func RequestKey(nls []*netlist.Netlist, req *CompileRequest) codec.Hash {
 // resultVersion covers the Result schema and the semantics of everything
 // CompileNetlists executes. Like every artifact version it is hashed into
 // the store key, so bumping it orphans stale entries.
-const resultVersion = 1
+//
+// v2: the connection-based incremental router (routing trajectories
+// changed) and the RoutingInfo block in the schema.
+const resultVersion = 2
 
 // resultKey derives the store key of a whole compile result from the
 // request's content identity.
@@ -258,6 +289,16 @@ func CompileNetlists(nls []*netlist.Netlist, req *CompileRequest, cache *flow.Ca
 	}
 	res.SpeedupVsMDR = flow.Speedup(mdr, dcs)
 	res.WireVsMDR = flow.WireRatio(mdr, dcs)
+	var sum route.Summary
+	for _, m := range mdr.PerMode {
+		sum.Add(m.Routing.Stats)
+	}
+	sum.Add(cmp.EdgeMatch.TRoute.Route.Stats)
+	sum.Add(cmp.WireLen.TRoute.Route.Stats)
+	res.Routing = &RoutingInfo{
+		Iterations: sum.Iterations, Connections: sum.Connections,
+		Rerouted: sum.Rerouted, PeakOveruse: sum.PeakOveruse, Requeued: sum.Requeued,
+	}
 
 	sw := &SwitchInfo{
 		MDRFull: flow.MDRSwitchMatrix(region, n),

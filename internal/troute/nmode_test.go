@@ -3,6 +3,7 @@ package troute
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/arch"
@@ -130,6 +131,36 @@ func TestPerModePrunedTreesLegal(t *testing.T) {
 						m, nets[ni].Name, sink)
 				}
 			}
+		}
+	}
+}
+
+// TestNModeRouteWorkerDeterminism asserts the parallel router's contract
+// through the full TRoute stack on a 3-mode group: trees, bit
+// classification and per-mode accounting must be identical at worker
+// counts 1, 2 and 8.
+func TestNModeRouteWorkerDeterminism(t *testing.T) {
+	res, a := mergedModes(t, []int64{121, 122, 123}, 28)
+	g := arch.BuildGraph(a)
+	var base *Result
+	for _, workers := range []int{1, 2, 8} {
+		tr, err := RouteTunable(g, res.Tunable, res.LUTSite, res.PadSite, route.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if workers == 1 {
+			base = tr
+			continue
+		}
+		if !reflect.DeepEqual(base.Route, tr.Route) {
+			t.Fatalf("workers %d: routing differs from serial", workers)
+		}
+		if !reflect.DeepEqual(base.BitModes, tr.BitModes) {
+			t.Fatalf("workers %d: bit classification differs from serial", workers)
+		}
+		if base.ParamRoutingBits != tr.ParamRoutingBits || base.StaticOnBits != tr.StaticOnBits ||
+			!reflect.DeepEqual(base.PerModeWire, tr.PerModeWire) || base.TotalWire != tr.TotalWire {
+			t.Fatalf("workers %d: accounting differs from serial", workers)
 		}
 	}
 }

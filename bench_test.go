@@ -430,17 +430,47 @@ func BenchmarkTechmap(b *testing.B) {
 // BenchmarkPlaceAnneal measures the VPR-style placer on the shared
 // annealing kernel, with allocations reported: the incremental
 // bounding-box cost model keeps the whole move loop allocation-free.
+// The serial baseline runs against the 4-worker batched kernel and the
+// 4-start multi-start variant; both parallel runs are checked
+// byte-identical to their 1-worker counterparts before timing starts —
+// the worker count may change only the wall clock, never the placement.
 func BenchmarkPlaceAnneal(b *testing.B) {
 	c := benchPlaceCircuit(b)
 	side := arch.MinGridForBlocks(c.NumBlocks(), c.NumPIs()+len(c.POs), 1.2)
 	a := arch.New(side, side, 8)
 	prob, _ := place.FromCircuit(c)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := place.Place(prob, a, place.Options{Seed: int64(i), Effort: 0.15}); err != nil {
+	run := func(opt place.Options) *place.Placement {
+		pl, err := place.Place(prob, a, opt)
+		if err != nil {
 			b.Fatal(err)
 		}
+		return pl
+	}
+	serial := place.Options{Seed: 1, Effort: 0.15}
+	parallel := place.Options{Seed: 1, Effort: 0.15, Workers: 4}
+	multistart := place.Options{Seed: 1, Effort: 0.15, Workers: 4, Starts: 4}
+	if !reflect.DeepEqual(run(parallel), run(serial)) {
+		b.Fatal("parallel placement differs from serial")
+	}
+	msSerial := multistart
+	msSerial.Workers = 1
+	if !reflect.DeepEqual(run(multistart), run(msSerial)) {
+		b.Fatal("parallel multi-start placement differs from serial")
+	}
+	for _, bc := range []struct {
+		name string
+		opt  place.Options
+	}{
+		{"serial", serial},
+		{"parallel-j4", parallel},
+		{"multistart-4", multistart},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				run(bc.opt)
+			}
+		})
 	}
 }
 
@@ -549,7 +579,9 @@ func BenchmarkPathFinder(b *testing.B) {
 
 // BenchmarkCombinedPlace measures the paper's merge step alone, with
 // allocations reported: the combined-placement cost path dedups sink and
-// affected sets through array scratch, not per-evaluation maps.
+// affected sets through array scratch, not per-evaluation maps. Like
+// BenchmarkPlaceAnneal, the 4-worker and 4-start variants are checked
+// byte-identical to their 1-worker counterparts before timing starts.
 func BenchmarkCombinedPlace(b *testing.B) {
 	modes := miniModes(b)
 	maxB, maxIO := 0, 0
@@ -563,14 +595,38 @@ func BenchmarkCombinedPlace(b *testing.B) {
 	}
 	side := arch.MinGridForBlocks(maxB, maxIO, 1.2)
 	a := arch.New(side, side, 8)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := merge.CombinedPlace("bench", modes, a, merge.Options{
-			Seed: int64(i), Effort: 0.15, Objective: merge.WireLength,
-		}); err != nil {
+	run := func(opt merge.Options) *merge.Result {
+		res, err := merge.CombinedPlace("bench", modes, a, opt)
+		if err != nil {
 			b.Fatal(err)
 		}
+		return res
+	}
+	serial := merge.Options{Seed: 1, Effort: 0.15, Objective: merge.WireLength}
+	parallel := merge.Options{Seed: 1, Effort: 0.15, Objective: merge.WireLength, Workers: 4}
+	multistart := merge.Options{Seed: 1, Effort: 0.15, Objective: merge.WireLength, Workers: 4, Starts: 4}
+	if !reflect.DeepEqual(run(parallel), run(serial)) {
+		b.Fatal("parallel combined placement differs from serial")
+	}
+	msSerial := multistart
+	msSerial.Workers = 1
+	if !reflect.DeepEqual(run(multistart), run(msSerial)) {
+		b.Fatal("parallel multi-start combined placement differs from serial")
+	}
+	for _, bc := range []struct {
+		name string
+		opt  merge.Options
+	}{
+		{"serial", serial},
+		{"parallel-j4", parallel},
+		{"multistart-4", multistart},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				run(bc.opt)
+			}
+		})
 	}
 }
 

@@ -13,7 +13,8 @@
 // Usage:
 //
 //	mmbench -exp all|table1|fig5|fig6|fig7|area|ablation|frames|multi [-j 8] [-routej 2]
-//	        [-groups 4] [-effort 0.4] [-seed 1] [-full] [-cachedir DIR] [-cachemb MB]
+//	        [-placej 2] [-starts 4] [-groups 4] [-effort 0.4] [-seed 1] [-full]
+//	        [-cachedir DIR] [-cachemb MB]
 //
 // With -cachedir the sweep runs against a persistent content-addressed
 // artifact store: a warm re-run renders the byte-identical report while
@@ -38,6 +39,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all, table1, fig5, fig6, fig7, area, ablation, frames, multi")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers for the group sweep")
 	routej := flag.Int("routej", 1, "parallel workers inside each PathFinder route (results are byte-identical at any value)")
+	placej := flag.Int("placej", 1, "parallel workers inside each annealing kernel (results are byte-identical at any value)")
+	starts := flag.Int("starts", 1, "independently seeded anneals per placement, best kept (changes results)")
 	groups := flag.Int("groups", 4, "multi-mode groups per suite (paper: 10)")
 	flag.IntVar(groups, "pairs", 4, "deprecated alias for -groups")
 	effort := flag.Float64("effort", 0.4, "annealing effort")
@@ -48,13 +51,18 @@ func main() {
 	cachemb := flag.Int64("cachemb", 0, "artifact-store size cap in MiB (0: uncapped)")
 	flag.Parse()
 
-	sc := experiments.Scale{GroupsPerSuite: *groups, Effort: *effort, Seed: *seed, RouteWorkers: *routej}
+	sc := experiments.Scale{
+		GroupsPerSuite: *groups, Effort: *effort, Seed: *seed,
+		RouteWorkers: *routej, PlaceWorkers: *placej, PlaceStarts: *starts,
+	}
 	if *full {
 		// Paper-scale defaults; explicitly set flags still win, so e.g.
 		// `-full -effort 1.0` raises the annealing effort threaded through
 		// experiments into flow.Config.PlaceEffort and the anneal kernel.
 		sc = experiments.FullScale()
 		sc.RouteWorkers = *routej
+		sc.PlaceWorkers = *placej
+		sc.PlaceStarts = *starts
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "groups", "pairs":

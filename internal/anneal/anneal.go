@@ -25,6 +25,14 @@
 // The kernel itself draws from the caller's rng in a fixed order (one
 // TryMove per probe/move, one Float64 per uphill move), so a seeded run
 // is reproducible by construction.
+//
+// Movers that additionally implement BatchMover run under the batched
+// parallel-move protocol (see parallel.go): fixed-size proposal batches
+// evaluated concurrently against frozen state and committed serially in
+// canonical order with footprint-based conflict detection. The batched
+// protocol runs at EVERY worker count including 1 — workers change who
+// evaluates, never what is decided — so same-seed results are
+// byte-identical at any Config.Workers.
 package anneal
 
 import (
@@ -68,14 +76,29 @@ type Config struct {
 	// RefineTempFraction scales the probed starting temperature when
 	// Refine is set (default 0.1).
 	RefineTempFraction float64
+	// Workers bounds the evaluation parallelism of the batched protocol
+	// (BatchMovers only; plain Movers always run the serial loop). 0 or 1
+	// evaluates inline on the calling goroutine. Workers never influence
+	// results — only wall-clock — and so are excluded from artifact keys.
+	Workers int
+	// Pool, when non-nil, supplies the worker pool (overriding Workers)
+	// so a multi-start caller can reuse one pool across runs.
+	Pool *Pool
+	// AfterBatch, when non-nil, is called on the calling goroutine after
+	// each batch's commit phase (test hook: the incremental-vs-recompute
+	// property tests audit the mover's books after every commit/requeue
+	// cycle).
+	AfterBatch func()
 }
 
 // Run anneals the Mover's state in place: probe initial temperature,
 // then rounds of Moves attempts with Metropolis acceptance until the
 // schedule says the temperature is cold relative to the cost per net.
-func Run(mv Mover, cfg Config, rng *rand.Rand) {
+// BatchMovers run the batched parallel protocol (at any worker count);
+// plain Movers run the classic serial loop.
+func Run(mv Mover, cfg Config, rng *rand.Rand) RunStats {
 	if cfg.Cells <= 0 || cfg.Nets <= 0 {
-		return
+		return RunStats{}
 	}
 	span := cfg.Span
 
@@ -103,14 +126,21 @@ func Run(mv Mover, cfg Config, rng *rand.Rand) {
 		}
 	}
 
+	if bm, ok := mv.(BatchMover); ok {
+		return runBatched(bm, cfg, sch, rng, span)
+	}
+
+	var stats RunStats
 	for {
 		for m := 0; m < sch.Moves; m++ {
 			d, ok := mv.TryMove(rng, sch.RLim)
 			if !ok {
 				continue
 			}
+			stats.Moves++
 			if d <= 0 || rng.Float64() < math.Exp(-d/sch.T) {
 				sch.Record(true)
+				stats.Accepted++
 			} else {
 				mv.Undo()
 				sch.Record(false)
@@ -120,6 +150,7 @@ func Run(mv Mover, cfg Config, rng *rand.Rand) {
 			break
 		}
 	}
+	return stats
 }
 
 // Clamp bounds v to [lo, hi].

@@ -1,0 +1,229 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// batchLineMover extends the toy line mover with the batched protocol.
+// With adversarial set, Claims reports the same single footprint key for
+// every proposal — so within a batch everything after the first accepted
+// commit conflicts — which is the livelock regression fixture: the kernel
+// must still make serial progress through such a batch.
+type batchLineMover struct {
+	lineMover
+	slotA, slotB []int
+	adversarial  bool
+}
+
+func newBatchLineMover(n int, rng *rand.Rand, adversarial bool) *batchLineMover {
+	m := &batchLineMover{adversarial: adversarial}
+	m.posOf = make([]int, n)
+	m.cellAt = make([]int, n)
+	for i, p := range rng.Perm(n) {
+		m.posOf[i] = p
+		m.cellAt[p] = i
+	}
+	m.cost = m.fullCost()
+	return m
+}
+
+func (m *batchLineMover) SetupBatch(workers, slots int) {
+	m.slotA = make([]int, slots)
+	m.slotB = make([]int, slots)
+}
+
+func (m *batchLineMover) Propose(rng *rand.Rand, rlim float64, slot int) bool {
+	a := rng.Intn(len(m.posOf))
+	posA := m.posOf[a]
+	r := int(rlim)
+	if r < 1 {
+		r = 1
+	}
+	posB := Clamp(posA+rng.Intn(2*r+1)-r, 0, len(m.posOf)-1)
+	if posA == posB {
+		return false
+	}
+	m.slotA[slot], m.slotB[slot] = posA, posB
+	return true
+}
+
+func (m *batchLineMover) Claims(slot int, buf []int64) []int64 {
+	if m.adversarial {
+		return append(buf, 0)
+	}
+	return append(buf, int64(m.slotA[slot]), int64(m.slotB[slot]))
+}
+
+// EvalSlot recomputes the chain cost with the slot's swap applied
+// virtually — same loop and float operations as fullCost, so the frozen
+// delta is bit-identical to what ApplySlot returns on unchanged state.
+func (m *batchLineMover) EvalSlot(slot, w int) float64 {
+	posA, posB := m.slotA[slot], m.slotB[slot]
+	at := func(i int) float64 {
+		p := m.posOf[i]
+		if p == posA {
+			p = posB
+		} else if p == posB {
+			p = posA
+		}
+		return float64(p)
+	}
+	c := 0.0
+	for i := 0; i+1 < len(m.posOf); i++ {
+		c += math.Abs(at(i) - at(i+1))
+	}
+	return c - m.cost
+}
+
+func (m *batchLineMover) ApplySlot(slot int) float64 {
+	posA, posB := m.slotA[slot], m.slotB[slot]
+	m.mvA, m.mvB = posA, posB
+	m.swap(posA, posB)
+	nc := m.fullCost()
+	d := nc - m.cost
+	m.cost = nc
+	return d
+}
+
+// TestBatchedWorkerDeterminism: the batched kernel must yield the same
+// final state AND the same move/accept/requeue statistics at 1, 2 and 8
+// workers — workers change who evaluates, never what is decided.
+func TestBatchedWorkerDeterminism(t *testing.T) {
+	run := func(workers int) ([]int, RunStats) {
+		rng := rand.New(rand.NewSource(321))
+		m := newBatchLineMover(40, rng, false)
+		stats := Run(m, Config{Effort: 1, Span: 40, Cells: 40, Nets: 39, Workers: workers}, rng)
+		return append([]int(nil), m.posOf...), stats
+	}
+	basePos, baseStats := run(1)
+	if baseStats.Batches == 0 || baseStats.Moves == 0 {
+		t.Fatalf("batched path not exercised: %+v", baseStats)
+	}
+	for _, workers := range []int{2, 8} {
+		pos, stats := run(workers)
+		if !reflect.DeepEqual(basePos, pos) {
+			t.Fatalf("final state at %d workers differs from serial", workers)
+		}
+		if stats != baseStats {
+			t.Fatalf("stats at %d workers %+v differ from serial %+v", workers, stats, baseStats)
+		}
+	}
+}
+
+// TestBatchedImprovesAndStaysExact: quality and bookkeeping sanity of the
+// batched protocol — the toy problem still optimises and the maintained
+// cost matches a from-scratch recompute at the end.
+func TestBatchedImprovesAndStaysExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := newBatchLineMover(40, rng, false)
+	start := m.Cost()
+	Run(m, Config{Effort: 1, Span: 40, Cells: 40, Nets: 39, Workers: 3}, rng)
+	if m.Cost() > 0.5*start {
+		t.Fatalf("batched annealing did not improve: %v -> %v", start, m.Cost())
+	}
+	if got := m.fullCost(); got != m.Cost() {
+		t.Fatalf("maintained cost %v != recomputed %v", m.Cost(), got)
+	}
+}
+
+// TestAllConflictBatchProgress is the livelock regression: with an
+// adversarial mover whose every proposal claims the same footprint key,
+// all but the first accepted commit of each batch conflict. The kernel
+// must resolve them serially in-batch (requeue + live re-evaluation),
+// terminate, keep exact books, and still be worker-count deterministic.
+func TestAllConflictBatchProgress(t *testing.T) {
+	run := func(workers int) (*batchLineMover, RunStats) {
+		rng := rand.New(rand.NewSource(99))
+		m := newBatchLineMover(40, rng, true)
+		stats := Run(m, Config{Effort: 1, Span: 40, Cells: 40, Nets: 39, Workers: workers}, rng)
+		return m, stats
+	}
+	m, stats := run(1)
+	if stats.Requeued == 0 {
+		t.Fatal("adversarial claims produced no requeues")
+	}
+	if stats.Accepted == 0 {
+		t.Fatal("all-conflict batches made no progress")
+	}
+	if stats.Requeued >= stats.Moves {
+		t.Fatalf("every move requeued (%d of %d): first commit of a batch must be conflict-free",
+			stats.Requeued, stats.Moves)
+	}
+	if got := m.fullCost(); got != m.Cost() {
+		t.Fatalf("maintained cost %v != recomputed %v after requeues", m.Cost(), got)
+	}
+	mp, sp := run(8)
+	if !reflect.DeepEqual(m.posOf, mp.posOf) || sp != stats {
+		t.Fatal("adversarial run not deterministic across worker counts")
+	}
+}
+
+// TestAfterBatchHook: the hook must run after every commit cycle, on the
+// calling goroutine, with the mover's books exact at each call.
+func TestAfterBatchHook(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := newBatchLineMover(30, rng, false)
+	calls := 0
+	stats := Run(m, Config{
+		Effort: 0.5, Span: 30, Cells: 30, Nets: 29, Workers: 2,
+		AfterBatch: func() {
+			calls++
+			if got := m.fullCost(); got != m.Cost() {
+				t.Fatalf("batch %d: maintained cost %v != recomputed %v", calls, m.Cost(), got)
+			}
+		},
+	}, rng)
+	if calls != stats.Batches {
+		t.Fatalf("AfterBatch ran %d times for %d batches", calls, stats.Batches)
+	}
+}
+
+// TestBestStart: the multi-start pick depends only on the (cost, seed)
+// pairs, never on completion order — shuffling the pairs must select the
+// same winning pair, with ties broken towards the lower seed.
+func TestBestStart(t *testing.T) {
+	costs := []float64{7, 3, 5, 3, 9}
+	seeds := []int64{50, 40, 30, 20, 10}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(len(costs))
+		cs := make([]float64, len(costs))
+		ss := make([]int64, len(seeds))
+		for i, p := range perm {
+			cs[i], ss[i] = costs[p], seeds[p]
+		}
+		best := BestStart(cs, ss)
+		if cs[best] != 3 || ss[best] != 20 {
+			t.Fatalf("trial %d: picked (%v, %d), want lowest cost 3 at lowest seed 20",
+				trial, cs[best], ss[best])
+		}
+	}
+}
+
+// TestPool: every worker index runs exactly once per Run, across reuse.
+func TestPool(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	if p.Workers() != 4 {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+	for round := 0; round < 3; round++ {
+		var mask atomic.Int32
+		p.Run(func(w int) { mask.Or(1 << w) })
+		if mask.Load() != 0b1111 {
+			t.Fatalf("round %d: worker mask %b, want 1111", round, mask.Load())
+		}
+	}
+	// A 1-worker pool runs inline.
+	p1 := NewPool(1)
+	defer p1.Close()
+	ran := false
+	p1.Run(func(w int) { ran = w == 0 })
+	if !ran {
+		t.Fatal("1-worker pool did not run inline as worker 0")
+	}
+}

@@ -24,7 +24,12 @@ const (
 	// PlacementVersion also stands in for the annealer's semantics: a
 	// change to place.Place's trajectory for a given (problem, seed,
 	// effort) must bump it.
-	PlacementVersion = 1
+	//
+	// v2: the annealing kernel moved to the batched parallel-move
+	// protocol (one acceptance uniform per proposal, drawn at propose
+	// time), changing same-seed trajectories; placements additionally
+	// depend on the multi-start count.
+	PlacementVersion = 2
 )
 
 // Header opens an artifact encoding with its kind tag and format version.

@@ -27,7 +27,10 @@ const (
 	//
 	// v2: the connection-based incremental router (routing trajectories
 	// changed) and the router-stats fields in the encoding.
-	groupResultVersion = 2
+	//
+	// v3: the batched parallel-move annealing kernel (placement
+	// trajectories changed) and the multi-start count in the key.
+	groupResultVersion = 3
 )
 
 // groupResultKey derives the content-addressed store key of one group
@@ -46,6 +49,11 @@ func groupResultKey(c *flow.Cache, name string, modes []*lutnet.Circuit, sc Scal
 	}
 	w.Float64(sc.Effort)
 	w.Varint(sc.Seed)
+	starts := sc.PlaceStarts
+	if starts < 1 {
+		starts = 1 // normalised: 0 and 1 starts are the same computation
+	}
+	w.Int(starts)
 	return w.Sum()
 }
 

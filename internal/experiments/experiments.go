@@ -50,6 +50,14 @@ type Scale struct {
 	// flow.Config.RouteWorkers). Results are byte-identical at any value,
 	// so it is not part of any artifact key.
 	RouteWorkers int
+	// PlaceWorkers is the annealers' worker count (see
+	// flow.Config.PlaceWorkers). Like RouteWorkers, results are
+	// byte-identical at any value, so it is not part of any artifact key.
+	PlaceWorkers int
+	// PlaceStarts is the placement multi-start count (see
+	// flow.Config.PlaceStarts). It changes results and IS part of the
+	// group-result artifact key.
+	PlaceStarts int
 	// Cache shares deterministic intermediate products (routing-resource
 	// graphs, placements) between jobs. Runner fills it automatically;
 	// set it explicitly to extend the sharing across separate runs (e.g.
@@ -78,7 +86,12 @@ type Suite struct {
 }
 
 func (s *Suite) config(sc Scale) flow.Config {
-	return flow.Config{PlaceEffort: sc.Effort, Seed: sc.Seed, RouteWorkers: sc.RouteWorkers, Cache: sc.Cache}
+	return flow.Config{
+		PlaceEffort: sc.Effort, Seed: sc.Seed,
+		RouteWorkers: sc.RouteWorkers,
+		PlaceWorkers: sc.PlaceWorkers, PlaceStarts: sc.PlaceStarts,
+		Cache: sc.Cache,
+	}
 }
 
 // BuildSuites generates the three benchmark suites of §IV-A with the

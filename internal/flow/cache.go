@@ -227,13 +227,17 @@ func (c *Cache) Graphs() []*arch.Graph {
 // placeKey identifies a placement by everything place.Place depends on:
 // the circuit (by content hash — structurally equal circuits share the
 // entry, within and across processes), the logic-array dimensions, and the
-// annealer seed and effort. Channel width is deliberately absent:
-// placement never looks at it (see placementChannelWidth).
+// annealer seed, effort and multi-start count. Channel width is
+// deliberately absent: placement never looks at it (see
+// placementChannelWidth). Worker count is deliberately absent too:
+// results are byte-identical at any -placej, so keying on it would only
+// split identical artifacts.
 type placeKey struct {
 	circuit       codec.Hash
 	width, height int
 	seed          int64
 	effort        float64
+	starts        int
 }
 
 // storeKey derives the artifact-store key of a placement entry. The
@@ -248,6 +252,7 @@ func (k placeKey) storeKey() codec.Hash {
 	w.Int(k.height)
 	w.Varint(k.seed)
 	w.Float64(k.effort)
+	w.Int(k.starts)
 	return w.Sum()
 }
 
@@ -259,12 +264,17 @@ type placeEntry struct {
 }
 
 // placement returns the annealed placement of circuit ct on a
-// width×height logic array under the given seed and effort, computing it
-// on first request per process and consulting the artifact store (when
-// attached) before annealing. The returned placement is shared: callers
-// must treat it as immutable.
-func (c *Cache) placement(ct *lutnet.Circuit, width, height int, seed int64, effort float64) (*place.Placement, place.CircuitCells, error) {
-	k := placeKey{circuit: c.CircuitHash(ct), width: width, height: height, seed: seed, effort: effort}
+// width×height logic array under the given seed, effort and multi-start
+// count, computing it on first request per process and consulting the
+// artifact store (when attached) before annealing. workers parallelises
+// the annealing without affecting the result (and so stays out of the
+// key). The returned placement is shared: callers must treat it as
+// immutable.
+func (c *Cache) placement(ct *lutnet.Circuit, width, height int, seed int64, effort float64, starts, workers int) (*place.Placement, place.CircuitCells, error) {
+	if starts < 1 {
+		starts = 1 // normalised so 0 and 1 share the (identical) artifact
+	}
+	k := placeKey{circuit: c.CircuitHash(ct), width: width, height: height, seed: seed, effort: effort, starts: starts}
 	c.mu.Lock()
 	e := c.places[k]
 	if e == nil {
@@ -295,7 +305,7 @@ func (c *Cache) placement(ct *lutnet.Circuit, width, height int, seed int64, eff
 		c.placeAnneals.Add(1)
 		a := arch.New(width, height, placementChannelWidth)
 		prob, cc := place.FromCircuit(ct)
-		pl, err := place.Place(prob, a, place.Options{Seed: seed, Effort: effort})
+		pl, err := place.Place(prob, a, place.Options{Seed: seed, Effort: effort, Starts: starts, Workers: workers})
 		e.pl, e.cc, e.err = pl, cc, err
 		if c.store != nil && err == nil {
 			// Best effort: a failed write only costs the next process a

@@ -143,11 +143,11 @@ func TestPlacementContentAddressed(t *testing.T) {
 	}
 	c := NewCache()
 	a := arch.New(6, 6, 8)
-	pl1, _, err := c.placement(mappedA[0], a.Width, a.Height, 1, cfg.PlaceEffort)
+	pl1, _, err := c.placement(mappedA[0], a.Width, a.Height, 1, cfg.PlaceEffort, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl2, _, err := c.placement(mappedB[0], a.Width, a.Height, 1, cfg.PlaceEffort)
+	pl2, _, err := c.placement(mappedB[0], a.Width, a.Height, 1, cfg.PlaceEffort, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestPlacementStoreTier(t *testing.T) {
 		t.Fatal(err)
 	}
 	cold := NewCacheWithStore(st1)
-	plCold, ccCold, err := cold.placement(ct, 6, 6, 1, cfg.PlaceEffort)
+	plCold, ccCold, err := cold.placement(ct, 6, 6, 1, cfg.PlaceEffort, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestPlacementStoreTier(t *testing.T) {
 		t.Fatal(err)
 	}
 	warm := NewCacheWithStore(st2)
-	plWarm, ccWarm, err := warm.placement(ct, 6, 6, 1, cfg.PlaceEffort)
+	plWarm, ccWarm, err := warm.placement(ct, 6, 6, 1, cfg.PlaceEffort, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestPlacementStoreTier(t *testing.T) {
 
 	// Corrupt the artifact: the next process must fall back to annealing
 	// and reproduce the identical placement (determinism), not error out.
-	key := placeKey{circuit: warm.CircuitHash(ct), width: 6, height: 6, seed: 1, effort: cfg.PlaceEffort}.storeKey()
+	key := placeKey{circuit: warm.CircuitHash(ct), width: 6, height: 6, seed: 1, effort: cfg.PlaceEffort, starts: 1}.storeKey()
 	raw, err := os.ReadFile(st2.Path(key))
 	if err != nil {
 		t.Fatal(err)
@@ -216,7 +216,7 @@ func TestPlacementStoreTier(t *testing.T) {
 		t.Fatal(err)
 	}
 	healed := NewCacheWithStore(st3)
-	plHealed, _, err := healed.placement(ct, 6, 6, 1, cfg.PlaceEffort)
+	plHealed, _, err := healed.placement(ct, 6, 6, 1, cfg.PlaceEffort, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestPlacementStoreTier(t *testing.T) {
 		t.Fatal(err)
 	}
 	final := NewCacheWithStore(st4)
-	if _, _, err := final.placement(ct, 6, 6, 1, cfg.PlaceEffort); err != nil {
+	if _, _, err := final.placement(ct, 6, 6, 1, cfg.PlaceEffort, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	if s := final.Stats(); s.PlaceStoreHits != 1 {

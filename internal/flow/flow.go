@@ -46,6 +46,18 @@ type Config struct {
 	// byte-identical at any value; only the wall clock changes. 0 keeps
 	// RouteOpts.Workers (default: serial).
 	RouteWorkers int
+	// PlaceWorkers sets the annealers' worker count for every placement
+	// this configuration runs — per-mode MDR placement, combined
+	// placement, and TPlace refinement. Like RouteWorkers, results are
+	// byte-identical at any value (see internal/anneal), so the knob
+	// stays out of every artifact key.
+	PlaceWorkers int
+	// PlaceStarts runs every placement anneal as this many independently
+	// seeded starts, keeping the best by the deterministic (cost, seed)
+	// tiebreak. Unlike the worker knobs it CHANGES results, so it is part
+	// of placement, group-result and compile-request artifact keys.
+	// 0 or 1 is a single start.
+	PlaceStarts int
 	// Cache, when non-nil, memoizes routing-resource graphs and placements
 	// across calls (see Cache), and — when backed by a persistent artifact
 	// store — across processes. Results are identical with or without it;
@@ -202,10 +214,13 @@ func (c Config) NewRegion(side, w int) *Region {
 
 func placeCircuit(c *lutnet.Circuit, a arch.Arch, cfg Config, seedOffset int64) (*place.Placement, place.CircuitCells, error) {
 	if cfg.Cache != nil {
-		return cfg.Cache.placement(c, a.Width, a.Height, cfg.Seed+seedOffset, cfg.PlaceEffort)
+		return cfg.Cache.placement(c, a.Width, a.Height, cfg.Seed+seedOffset, cfg.PlaceEffort, cfg.PlaceStarts, cfg.PlaceWorkers)
 	}
 	prob, cc := place.FromCircuit(c)
-	pl, err := place.Place(prob, a, place.Options{Seed: cfg.Seed + seedOffset, Effort: cfg.PlaceEffort})
+	pl, err := place.Place(prob, a, place.Options{
+		Seed: cfg.Seed + seedOffset, Effort: cfg.PlaceEffort,
+		Starts: cfg.PlaceStarts, Workers: cfg.PlaceWorkers,
+	})
 	if err != nil {
 		return nil, cc, err
 	}
@@ -298,6 +313,7 @@ func RunDCS(name string, modes []*lutnet.Circuit, region *Region, obj merge.Obje
 	cfg = cfg.filled()
 	mres, err := merge.CombinedPlace(name, modes, region.Arch, merge.Options{
 		Seed: cfg.Seed, Effort: cfg.PlaceEffort, Objective: obj,
+		Workers: cfg.PlaceWorkers, Starts: cfg.PlaceStarts,
 	})
 	if err != nil {
 		return nil, err

@@ -64,6 +64,8 @@ func TPlace(tc *tunable.Circuit, a arch.Arch, cfg Config, initLUT, initPad []arc
 		Seed:               cfg.Seed + 7777,
 		Effort:             cfg.PlaceEffort,
 		RefineTempFraction: cfg.RefineTempFraction,
+		Workers:            cfg.PlaceWorkers,
+		Starts:             cfg.PlaceStarts,
 	}
 	if initLUT != nil && initPad != nil {
 		init := make([]arch.Site, 0, len(prob.Cells))

@@ -1,0 +1,53 @@
+package flow
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/merge"
+)
+
+// TestTPlaceRefineWorkerDeterminism is the flow-level half of the
+// worker-determinism contract: the TPlace refinement pass (annealing from
+// the combined placement's extracted sites rather than a random start)
+// must return byte-identical sites and cost at any PlaceWorkers value.
+func TestTPlaceRefineWorkerDeterminism(t *testing.T) {
+	cfg := testConfig()
+	mapped, err := MapModes(buildPair(t, 11, 12, 32), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := SizeRegion(mapped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One combined placement feeds every refinement run, so any
+	// divergence below is TPlace's alone.
+	mres, err := merge.CombinedPlace("det", mapped, region.Arch, merge.Options{
+		Seed: cfg.Seed, Effort: cfg.PlaceEffort, Objective: merge.WireLength,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type refined struct {
+		lut, pad []arch.Site
+		cost     float64
+	}
+	run := func(workers int) refined {
+		c := cfg
+		c.PlaceWorkers = workers
+		lut, pad, cost, err := TPlace(mres.Tunable, region.Arch, c, mres.LUTSite, mres.PadSite)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return refined{lut, pad, cost}
+	}
+	base := run(1)
+	for _, j := range []int{2, 8} {
+		if got := run(j); !reflect.DeepEqual(got, base) {
+			t.Errorf("TPlace refine diverges at workers=%d (cost %v vs %v)", j, got.cost, base.cost)
+		}
+	}
+}

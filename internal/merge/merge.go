@@ -49,6 +49,16 @@ type Options struct {
 	Seed      int64
 	Effort    float64
 	Objective Objective
+	// Workers bounds the parallel evaluation of move batches. Results are
+	// byte-identical at any worker count (see internal/anneal), so
+	// Workers is a wall-clock knob only and stays out of artifact keys.
+	Workers int
+	// Starts anneals this many independently-seeded combined placements
+	// (Seed, Seed+StartSeedStride, ...) sharing one worker pool and keeps
+	// the best by the deterministic (cost, seed) tiebreak. 0 or 1 is a
+	// single start. Starts changes results, so it IS part of artifact
+	// keys.
+	Starts int
 }
 
 // Result carries the merged Tunable circuit, the grouping assignment and
@@ -183,6 +193,10 @@ type state struct {
 	// Pending move for anneal.Mover (set by TryMove, used by Undo).
 	mvMode   int
 	mvA, mvB int32
+	// Batched-protocol state (parallel.go): recorded proposals and the
+	// per-worker frozen-evaluation scratch.
+	slots   []mergeSlot
+	scratch []mergeScratch
 }
 
 // newState builds the combined-placement state with a random legal
@@ -335,18 +349,17 @@ func (st *state) affected(m int, c int32, add func(int32)) {
 	}
 }
 
-// TryMove implements anneal.Mover: pick a mode and one of its cells, swap
-// it with a range-limited target position, and return the incremental
-// cost delta over the affected positions.
-func (st *state) TryMove(rng *rand.Rand, rlim float64) (float64, bool) {
-	m := rng.Intn(len(st.modes))
+// pickMove selects a mode, one of its cells and a range-limited same-class
+// target position — the shared proposal logic of TryMove and Propose
+// (identical rng draw sequence on either path).
+func (st *state) pickMove(rng *rand.Rand, rlim float64) (m int, posA, posB int32, ok bool) {
+	m = rng.Intn(len(st.modes))
 	mi := st.modes[m]
 	if mi.numCells() == 0 {
-		return 0, false
+		return 0, 0, 0, false
 	}
 	c := int32(rng.Intn(mi.numCells()))
-	posA := st.posOf[m][c]
-	var posB int32
+	posA = st.posOf[m][c]
 	if mi.isIO(c) {
 		posB = int32(len(st.clbSites) + rng.Intn(len(st.ioSites)))
 	} else {
@@ -360,9 +373,26 @@ func (st *state) TryMove(rng *rand.Rand, rlim float64) (float64, bool) {
 		posB = int32((y-1)*st.width + (x - 1))
 	}
 	if posB == posA {
+		return 0, 0, 0, false
+	}
+	return m, posA, posB, true
+}
+
+// TryMove implements anneal.Mover: pick a mode and one of its cells, swap
+// it with a range-limited target position, and return the incremental
+// cost delta over the affected positions.
+func (st *state) TryMove(rng *rand.Rand, rlim float64) (float64, bool) {
+	m, posA, posB, ok := st.pickMove(rng, rlim)
+	if !ok {
 		return 0, false
 	}
+	return st.applyMove(m, posA, posB), true
+}
 
+// applyMove swaps the mode-m occupants of posA/posB against live state,
+// updates the affected position costs, and returns the incremental delta,
+// leaving the move applied for Undo.
+func (st *state) applyMove(m int, posA, posB int32) float64 {
 	affected := st.affBuf[:0]
 	add := func(p int32) {
 		if !st.affSeen[p] {
@@ -391,7 +421,7 @@ func (st *state) TryMove(rng *rand.Rand, rlim float64) (float64, bool) {
 	}
 	st.affBuf = affected
 	st.mvMode, st.mvA, st.mvB = m, posA, posB
-	return delta, true
+	return delta
 }
 
 // Undo implements anneal.Mover: revert the last TryMove's swap and the
@@ -429,26 +459,45 @@ func CombinedPlace(name string, modes []*lutnet.Circuit, a arch.Arch, opt Option
 	if opt.Effort <= 0 {
 		opt.Effort = 1.0
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-
-	st, err := newState(modes, a, opt.Objective, rng)
-	if err != nil {
-		return nil, err
+	starts := opt.Starts
+	if starts < 1 {
+		starts = 1
 	}
-	nCells := 0
-	for _, mi := range st.modes {
-		nCells += mi.numCells()
+	var pool *anneal.Pool
+	if opt.Workers > 1 {
+		pool = anneal.NewPool(opt.Workers)
+		defer pool.Close()
 	}
-	nNets := st.numNets()
-	if nNets == 0 {
-		nNets = 1
+	states := make([]*state, starts)
+	costs := make([]float64, starts)
+	seeds := make([]int64, starts)
+	for i := range states {
+		seed := opt.Seed + int64(i)*anneal.StartSeedStride
+		rng := rand.New(rand.NewSource(seed))
+		st, err := newState(modes, a, opt.Objective, rng)
+		if err != nil {
+			return nil, err
+		}
+		nCells := 0
+		for _, mi := range st.modes {
+			nCells += mi.numCells()
+		}
+		nNets := st.numNets()
+		if nNets == 0 {
+			nNets = 1
+		}
+		anneal.Run(st, anneal.Config{
+			Effort: opt.Effort,
+			Span:   a.Width + a.Height,
+			Cells:  nCells,
+			Nets:   nNets,
+			Pool:   pool,
+		}, rng)
+		states[i], costs[i], seeds[i] = st, st.totalCost(), seed
 	}
-	anneal.Run(st, anneal.Config{
-		Effort: opt.Effort,
-		Span:   a.Width + a.Height,
-		Cells:  nCells,
-		Nets:   nNets,
-	}, rng)
+	// Pick by post-anneal cost; the (deterministic, rng-free) pin repair
+	// then runs on the winner only, exactly as a single start would.
+	st := states[anneal.BestStart(costs, seeds)]
 	repairPins(st, a)
 
 	return extract(name, modes, st)

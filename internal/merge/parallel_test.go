@@ -1,0 +1,148 @@
+package merge
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/anneal"
+	"repro/internal/lutnet"
+)
+
+// TestMergeWorkerDeterminism is the combined-placement half of the
+// determinism-at-any-j contract: the complete Result — cost, connection
+// counts, assignment and every group site — must be identical at 1, 2
+// and 8 workers, under both objectives.
+func TestMergeWorkerDeterminism(t *testing.T) {
+	modes := []*lutnet.Circuit{
+		randomCircuit(t, 60, 30),
+		randomCircuit(t, 61, 30),
+		randomCircuit(t, 62, 30),
+	}
+	a := archFor(modes)
+	for _, obj := range []Objective{WireLength, EdgeMatch} {
+		var base *Result
+		for _, workers := range []int{1, 2, 8} {
+			res, err := CombinedPlace("det", modes, a, Options{
+				Seed: 7, Effort: 0.2, Objective: obj, Workers: workers,
+			})
+			if err != nil {
+				t.Fatalf("%v workers %d: %v", obj, workers, err)
+			}
+			if workers == 1 {
+				base = res
+				continue
+			}
+			if !reflect.DeepEqual(base, res) {
+				t.Fatalf("%v: result at %d workers differs from serial", obj, workers)
+			}
+		}
+	}
+}
+
+// TestMergeMultiStartDeterministic: a multi-start combined placement must
+// equal the best single start under the (cost, seed) tiebreak, at any
+// worker count.
+func TestMergeMultiStartDeterministic(t *testing.T) {
+	modes := similarPair(t)
+	a := archFor(modes)
+	const starts = 3
+	var singles []*Result
+	costs := make([]float64, starts)
+	seeds := make([]int64, starts)
+	for i := 0; i < starts; i++ {
+		seeds[i] = 9 + int64(i)*anneal.StartSeedStride
+		res, err := CombinedPlace("ms", modes, a, Options{Seed: seeds[i], Effort: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		singles = append(singles, res)
+		costs[i] = res.Cost
+	}
+	want := singles[anneal.BestStart(costs, seeds)]
+	for _, workers := range []int{1, 4} {
+		res, err := CombinedPlace("ms", modes, a, Options{
+			Seed: 9, Effort: 0.2, Starts: starts, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want, res) {
+			t.Fatalf("multi-start at %d workers differs from best single start (cost %v vs %v)",
+				workers, res.Cost, want.Cost)
+		}
+	}
+}
+
+// TestMergeEvalSlotMatchesApplySlot pins the frozen-evaluation contract
+// down move by move under both objectives: EvalSlot's read-only delta
+// must equal applyMove's live delta bit-identically.
+func TestMergeEvalSlotMatchesApplySlot(t *testing.T) {
+	modes := []*lutnet.Circuit{
+		randomCircuit(t, 50, 30),
+		randomCircuit(t, 51, 30),
+		randomCircuit(t, 52, 30),
+	}
+	a := archFor(modes)
+	for _, obj := range []Objective{WireLength, EdgeMatch} {
+		rng := rand.New(rand.NewSource(14))
+		st, err := newState(modes, a, obj, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.SetupBatch(2, 1)
+		for i := 0; i < 3000; i++ {
+			rlim := 1 + rng.Float64()*float64(a.Width+a.Height)
+			if !st.Propose(rng, rlim, 0) {
+				continue
+			}
+			frozen := st.EvalSlot(0, i%2)
+			live := st.ApplySlot(0)
+			if frozen != live {
+				t.Fatalf("%v step %d: frozen delta %v != live delta %v", obj, i, frozen, live)
+			}
+			if rng.Intn(2) == 0 {
+				st.Undo()
+			}
+		}
+	}
+}
+
+// TestMergeBatchAccountingMatchesRecompute extends the incremental
+// exact-equality contract to the batched commit/requeue path: after
+// EVERY batch commit cycle of a real parallel combined-placement anneal,
+// each maintained position cost must equal a from-scratch costAt. The
+// run must also exercise the conflict-requeue path.
+func TestMergeBatchAccountingMatchesRecompute(t *testing.T) {
+	modes := []*lutnet.Circuit{
+		randomCircuit(t, 50, 30),
+		randomCircuit(t, 51, 30),
+		randomCircuit(t, 52, 30),
+	}
+	a := archFor(modes)
+	rng := rand.New(rand.NewSource(15))
+	st, err := newState(modes, a, WireLength, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCells := 0
+	for _, mi := range st.modes {
+		nCells += mi.numCells()
+	}
+	batch := 0
+	stats := anneal.Run(st, anneal.Config{
+		Effort: 0.2, Span: a.Width + a.Height,
+		Cells: nCells, Nets: st.numNets(),
+		Workers: 3,
+		AfterBatch: func() {
+			batch++
+			checkPosCosts(t, st, batch)
+		},
+	}, rng)
+	if stats.Batches == 0 || batch != stats.Batches {
+		t.Fatalf("AfterBatch ran %d times for %d batches", batch, stats.Batches)
+	}
+	if stats.Requeued == 0 {
+		t.Fatal("anneal never exercised the conflict-requeue path")
+	}
+}

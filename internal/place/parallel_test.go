@@ -1,0 +1,164 @@
+package place
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/anneal"
+	"repro/internal/arch"
+)
+
+// TestPlaceWorkerDeterminism is the placer half of the repo's
+// determinism-at-any-j contract: the complete Placement — every site and
+// the cost — must be identical at 1, 2 and 8 workers across seeds.
+func TestPlaceWorkerDeterminism(t *testing.T) {
+	a := arch.New(7, 7, 4)
+	for seed := int64(0); seed < 5; seed++ {
+		p := randomProblem(seed, 24, 14, 50)
+		var base *Placement
+		for _, workers := range []int{1, 2, 8} {
+			pl, err := Place(p, a, Options{Seed: seed, Effort: 0.3, Workers: workers})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if workers == 1 {
+				base = pl
+				continue
+			}
+			if !reflect.DeepEqual(base, pl) {
+				t.Fatalf("seed %d: placement at %d workers differs from serial", seed, workers)
+			}
+		}
+	}
+}
+
+// TestPlaceRefineWorkerDeterminism: the refine path (Init set, opening at
+// the refinement temperature) must be worker-count deterministic too.
+func TestPlaceRefineWorkerDeterminism(t *testing.T) {
+	a := arch.New(7, 7, 4)
+	p := randomProblem(21, 24, 14, 50)
+	seedPl, err := Place(p, a, Options{Seed: 21, Effort: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base *Placement
+	for _, workers := range []int{1, 2, 8} {
+		pl, err := Place(p, a, Options{Seed: 4, Effort: 0.2, Init: seedPl.SiteOf, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if workers == 1 {
+			base = pl
+			continue
+		}
+		if !reflect.DeepEqual(base, pl) {
+			t.Fatalf("refine placement at %d workers differs from serial", workers)
+		}
+	}
+}
+
+// TestPlaceMultiStartDeterministic: a multi-start run must equal the best
+// of the equivalent single-start runs under the (cost, seed) tiebreak,
+// at any worker count, and never be worse than its own single start.
+func TestPlaceMultiStartDeterministic(t *testing.T) {
+	a := arch.New(7, 7, 4)
+	p := randomProblem(31, 24, 14, 50)
+	const starts = 4
+	var singles []*Placement
+	costs := make([]float64, starts)
+	seeds := make([]int64, starts)
+	for i := 0; i < starts; i++ {
+		seeds[i] = 5 + int64(i)*anneal.StartSeedStride
+		pl, err := Place(p, a, Options{Seed: seeds[i], Effort: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		singles = append(singles, pl)
+		costs[i] = pl.Cost
+	}
+	want := singles[anneal.BestStart(costs, seeds)]
+	var base *Placement
+	for _, workers := range []int{1, 2, 8} {
+		pl, err := Place(p, a, Options{Seed: 5, Effort: 0.3, Starts: starts, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want, pl) {
+			t.Fatalf("multi-start at %d workers differs from best single start (cost %v vs %v)",
+				workers, pl.Cost, want.Cost)
+		}
+		if workers == 1 {
+			base = pl
+			continue
+		}
+		if !reflect.DeepEqual(base, pl) {
+			t.Fatalf("multi-start at %d workers differs from serial multi-start", workers)
+		}
+	}
+	if want.Cost > singles[0].Cost {
+		t.Fatalf("multi-start pick %v worse than first start %v", want.Cost, singles[0].Cost)
+	}
+}
+
+// TestEvalSlotMatchesApplySlot pins the frozen-evaluation contract down
+// move by move: for thousands of proposals on evolving state, EvalSlot's
+// read-only delta must equal ApplySlot's live delta BIT-identically —
+// same box-update decisions, same rescans, same accumulation order.
+func TestEvalSlotMatchesApplySlot(t *testing.T) {
+	a := arch.New(7, 7, 4)
+	p := randomProblem(41, 30, 16, 60)
+	rng := rand.New(rand.NewSource(43))
+	st, err := newState(p, a.CLBSites(), a.IOSites(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetupBatch(2, 1)
+	for i := 0; i < 4000; i++ {
+		rlim := 1 + rng.Float64()*float64(a.Width+a.Height)
+		if !st.Propose(rng, rlim, 0) {
+			continue
+		}
+		frozen := st.EvalSlot(0, i%2)
+		live := st.ApplySlot(0)
+		if frozen != live {
+			t.Fatalf("step %d: frozen delta %v != live delta %v", i, frozen, live)
+		}
+		// Random walk: keep some moves so later proposals see varied
+		// boxes (growth, interior and shrink-rescan paths all fire).
+		if rng.Intn(2) == 0 {
+			st.Undo()
+		}
+	}
+}
+
+// TestPlaceBatchAccountingMatchesRecompute extends the incremental
+// exact-equality contract to the batched commit/requeue path: after
+// EVERY batch commit cycle of a real parallel anneal, each maintained
+// net cost must equal a from-scratch HPWL recompute. The run must also
+// actually exercise the conflict-requeue path.
+func TestPlaceBatchAccountingMatchesRecompute(t *testing.T) {
+	a := arch.New(7, 7, 4)
+	p := randomProblem(41, 30, 16, 60)
+	rng := rand.New(rand.NewSource(6))
+	st, err := newState(p, a.CLBSites(), a.IOSites(), rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := 0
+	stats := anneal.Run(st, anneal.Config{
+		Effort: 0.3, Span: a.Width + a.Height,
+		Cells: len(p.Cells), Nets: len(p.Nets),
+		Workers: 3,
+		AfterBatch: func() {
+			batch++
+			checkAgainstRecompute(t, st, batch)
+		},
+	}, rng)
+	if stats.Batches == 0 || batch != stats.Batches {
+		t.Fatalf("AfterBatch ran %d times for %d batches", batch, stats.Batches)
+	}
+	if stats.Requeued == 0 {
+		t.Fatal("anneal never exercised the conflict-requeue path")
+	}
+}

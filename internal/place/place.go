@@ -106,6 +106,15 @@ type Options struct {
 	// RefineTempFraction scales the usual starting temperature when Init
 	// is set (default 0.1).
 	RefineTempFraction float64
+	// Workers bounds the parallel evaluation of move batches. Results are
+	// byte-identical at any worker count (see internal/anneal), so
+	// Workers is a wall-clock knob only and stays out of artifact keys.
+	Workers int
+	// Starts anneals this many independently-seeded runs (Seed,
+	// Seed+StartSeedStride, ...) sharing one worker pool, and returns the
+	// best by the deterministic (cost, seed) tiebreak. 0 or 1 is a single
+	// start. Starts changes results, so it IS part of artifact keys.
+	Starts int
 }
 
 // Place runs simulated annealing and returns a legal placement.
@@ -113,7 +122,10 @@ func Place(p *Problem, a arch.Arch, opt Options) (*Placement, error) {
 	if opt.Effort <= 0 {
 		opt.Effort = 1.0
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
+	starts := opt.Starts
+	if starts < 1 {
+		starts = 1
+	}
 
 	clbSites := a.CLBSites()
 	ioSites := a.IOSites()
@@ -132,18 +144,33 @@ func Place(p *Problem, a arch.Arch, opt Options) (*Placement, error) {
 		return nil, fmt.Errorf("place: %d IO cells exceed %d pad sites", nIOCells, len(ioSites))
 	}
 
-	st, err := newState(p, clbSites, ioSites, rng, opt.Init)
-	if err != nil {
-		return nil, err
+	var pool *anneal.Pool
+	if opt.Workers > 1 {
+		pool = anneal.NewPool(opt.Workers)
+		defer pool.Close()
 	}
-	anneal.Run(st, anneal.Config{
-		Effort:             opt.Effort,
-		Span:               a.Width + a.Height,
-		Cells:              len(p.Cells),
-		Nets:               len(p.Nets),
-		Refine:             opt.Init != nil,
-		RefineTempFraction: opt.RefineTempFraction,
-	}, rng)
+	states := make([]*state, starts)
+	costs := make([]float64, starts)
+	seeds := make([]int64, starts)
+	for i := range states {
+		seed := opt.Seed + int64(i)*anneal.StartSeedStride
+		rng := rand.New(rand.NewSource(seed))
+		st, err := newState(p, clbSites, ioSites, rng, opt.Init)
+		if err != nil {
+			return nil, err
+		}
+		anneal.Run(st, anneal.Config{
+			Effort:             opt.Effort,
+			Span:               a.Width + a.Height,
+			Cells:              len(p.Cells),
+			Nets:               len(p.Nets),
+			Refine:             opt.Init != nil,
+			RefineTempFraction: opt.RefineTempFraction,
+			Pool:               pool,
+		}, rng)
+		states[i], costs[i], seeds[i] = st, st.totalCost(), seed
+	}
+	st := states[anneal.BestStart(costs, seeds)]
 
 	pl := &Placement{SiteOf: make([]arch.Site, len(p.Cells))}
 	for c := range p.Cells {
@@ -197,6 +224,10 @@ type state struct {
 	oldBox    []netBox
 	// Pending move for anneal.Mover (set by TryMove, used by Undo).
 	mvA, mvB int
+	// Batched-protocol state (parallel.go): recorded proposals and the
+	// per-worker frozen-evaluation scratch.
+	slots   []slotMove
+	scratch []evalScratch
 }
 
 func newState(p *Problem, clbSites, ioSites []arch.Site, rng *rand.Rand, init []arch.Site) (*state, error) {
@@ -398,7 +429,19 @@ func (st *state) boxCost(ni int) float64 {
 // computeBox rescan, which requires posOf to already hold the moved
 // cell's new position.
 func (st *state) updateBox(ni int, ox, oy, nx, ny int32) {
-	b := &st.boxes[ni]
+	if !boxStep(&st.boxes[ni], ox, oy, nx, ny) {
+		st.boxes[ni] = st.computeBox(ni)
+	}
+}
+
+// boxStep is the pure incremental half of updateBox: it applies one cell
+// move to the box and reports whether the counters survived. false means
+// the move vacated an edge and the caller must rescan — the live path
+// recomputes from the coordinate arrays, the frozen parallel evaluation
+// (parallel.go) from an overridden view of them. Once the X axis demands
+// a rescan the Y-axis counters are left untouched (the rescan rebuilds
+// everything), matching the historical updateBox short-circuit exactly.
+func boxStep(b *netBox, ox, oy, nx, ny int32) bool {
 	rescan := false
 	if nx != ox {
 		switch {
@@ -456,9 +499,7 @@ func (st *state) updateBox(ni int, ox, oy, nx, ny int32) {
 			}
 		}
 	}
-	if rescan {
-		st.boxes[ni] = st.computeBox(ni)
-	}
+	return !rescan
 }
 
 func (st *state) totalCost() float64 {

@@ -47,6 +47,14 @@ type CompileRequest struct {
 	// of RequestKey: requests differing only in worker count share one
 	// cached result.
 	RouteWorkers int `json:"route_workers,omitempty"`
+	// PlaceWorkers sets the annealers' worker count. Like RouteWorkers,
+	// placement is byte-identical at any value, so this knob is
+	// deliberately NOT part of RequestKey.
+	PlaceWorkers int `json:"place_workers,omitempty"`
+	// Starts is the multi-start count: run that many independently seeded
+	// anneals and keep the best. Unlike the worker knobs it changes
+	// results, so it IS part of RequestKey.
+	Starts int `json:"starts,omitempty"`
 }
 
 // ModeInfo summarises one mapped mode.
@@ -155,6 +163,8 @@ func (req *CompileRequest) config(cache *flow.Cache) flow.Config {
 		RefineTempFraction: req.RefineFrac,
 		Seed:               req.Seed,
 		RouteWorkers:       req.RouteWorkers,
+		PlaceWorkers:       req.PlaceWorkers,
+		PlaceStarts:        req.Starts,
 		Cache:              cache,
 	}
 }
@@ -186,7 +196,9 @@ func ParseModes(req *CompileRequest) ([]*netlist.Netlist, error) {
 // requests on.
 func RequestKey(nls []*netlist.Netlist, req *CompileRequest) codec.Hash {
 	w := codec.NewWriter()
-	w.Header("compile-request", 1)
+	// v2: the multi-start count joined the identity (the worker knobs
+	// deliberately stay out — they never change results).
+	w.Header("compile-request", 2)
 	w.Uvarint(uint64(len(nls)))
 	for _, n := range nls {
 		h := codec.HashNetlist(n)
@@ -198,6 +210,11 @@ func RequestKey(nls []*netlist.Netlist, req *CompileRequest) codec.Hash {
 	w.Varint(req.Seed)
 	obj, _ := req.objective()
 	w.Int(int(obj))
+	starts := req.Starts
+	if starts < 1 {
+		starts = 1 // normalised: 0 and 1 starts are the same computation
+	}
+	w.Int(starts)
 	return w.Sum()
 }
 
@@ -207,7 +224,10 @@ func RequestKey(nls []*netlist.Netlist, req *CompileRequest) codec.Hash {
 //
 // v2: the connection-based incremental router (routing trajectories
 // changed) and the RoutingInfo block in the schema.
-const resultVersion = 2
+//
+// v3: the batched parallel-move annealing kernel (placement trajectories
+// changed) and the multi-start count in the request identity.
+const resultVersion = 3
 
 // resultKey derives the store key of a whole compile result from the
 // request's content identity.

@@ -15,10 +15,13 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Result is one benchmark line.
@@ -30,16 +33,43 @@ type Result struct {
 
 // Report is the whole document.
 type Report struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	Pkg     string   `json:"pkg,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Commit and Date stamp which tree the numbers came from, so an
+	// archived report is interpretable without its CI run context.
+	Commit  string   `json:"commit,omitempty"`
+	Date    string   `json:"date,omitempty"`
 	Pass    bool     `json:"pass"`
 	Results []Result `json:"results"`
 }
 
+// commitSHA resolves the commit to stamp: the -commit flag wins, then
+// the GITHUB_SHA environment CI sets, then a best-effort git call.
+func commitSHA(flagVal string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
 func main() {
-	rep := Report{Results: []Result{}}
+	commit := flag.String("commit", "", "commit SHA to stamp (default: $GITHUB_SHA, then git rev-parse HEAD)")
+	flag.Parse()
+
+	rep := Report{
+		Results: []Result{},
+		Commit:  commitSHA(*commit),
+		Date:    time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {

@@ -49,6 +49,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout")
 	verbose := flag.Bool("v", false, "print per-connection activation functions (local runs only)")
 	cachedir := flag.String("cachedir", "", "persistent artifact-store directory for placements (local runs)")
+	baseline := flag.String("baseline", "", "baseline key of a prior compile (needs -cachedir): recompile as an ECO delta, falling back to a cold compile if the baseline is unusable")
 	remote := flag.String("remote", "", "delegate compilation to a running mmserved (e.g. http://localhost:8433)")
 	flag.Parse()
 
@@ -60,7 +61,7 @@ func main() {
 
 	req := &service.CompileRequest{
 		K: *k, Effort: *effort, RefineFrac: *refineFrac, Seed: *seed, Objective: *objective,
-		RouteWorkers: *routej, PlaceWorkers: *placej, Starts: *starts,
+		RouteWorkers: *routej, PlaceWorkers: *placej, Starts: *starts, BaselineKey: *baseline,
 	}
 	for _, path := range flag.Args() {
 		text, err := os.ReadFile(path)
@@ -166,6 +167,17 @@ func render(res *service.Result) {
 	if ri := res.Routing; ri != nil {
 		fmt.Printf("router: %d iterations, %d reroutes over %d connections, peak overuse %d\n",
 			ri.Iterations, ri.Rerouted, ri.Connections, ri.PeakOveruse)
+	}
+	if d := res.Delta; d != nil {
+		if d.BaselineMiss {
+			fmt.Println("delta: baseline unusable, compiled cold")
+		} else {
+			fmt.Printf("delta: %d placements reused, %d transferred, %d nets warm-routed\n",
+				d.ReusedModes, d.PlaceTransfers, d.WarmRouteNets)
+		}
+	}
+	if res.BaselineKey != "" {
+		fmt.Printf("baseline key: %s\n", res.BaselineKey)
 	}
 	if sw := res.SwitchCost; sw != nil {
 		if sw.MDRDiff == nil {

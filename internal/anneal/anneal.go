@@ -76,6 +76,16 @@ type Config struct {
 	// RefineTempFraction scales the probed starting temperature when
 	// Refine is set (default 0.1).
 	RefineTempFraction float64
+	// WarmStart quenches an already-good seed (an ECO placement
+	// transfer): the starting temperature is scaled by
+	// WarmStartTempFraction and the range limit opens at an eighth of
+	// the span — colder and tighter than Refine, so the baseline is
+	// perturbed only where the edit demands it. When both Refine and
+	// WarmStart are set, WarmStart wins.
+	WarmStart bool
+	// WarmStartTempFraction scales the probed starting temperature when
+	// WarmStart is set (default 0.02).
+	WarmStartTempFraction float64
 	// Workers bounds the evaluation parallelism of the batched protocol
 	// (BatchMovers only; plain Movers always run the serial loop). 0 or 1
 	// evaluates inline on the calling goroutine. Workers never influence
@@ -114,7 +124,26 @@ func Run(mv Mover, cfg Config, rng *rand.Rand) RunStats {
 		mv.Undo()
 	}
 	sch := NewSchedule(Stddev(deltas), span, cfg.Cells, cfg.Effort)
-	if cfg.Refine {
+	switch {
+	case cfg.WarmStart:
+		frac := cfg.WarmStartTempFraction
+		if frac <= 0 {
+			frac = 0.02
+		}
+		sch.T *= frac
+		sch.RLim = float64(span) / 8
+		if sch.RLim < 1 {
+			sch.RLim = 1
+		}
+		// A quench refines an already-good seed with local moves only;
+		// the full VPR per-round budget is sized for untangling a random
+		// start and would spend most of it re-proposing rejected uphill
+		// moves at the cold temperature.
+		sch.Moves /= 4
+		if sch.Moves < 64 {
+			sch.Moves = 64
+		}
+	case cfg.Refine:
 		frac := cfg.RefineTempFraction
 		if frac <= 0 {
 			frac = 0.1

@@ -42,6 +42,22 @@ func (h Hash) String() string { return h.Hex() }
 // Sum returns the content hash of an encoded artifact.
 func Sum(data []byte) Hash { return sha256.Sum256(data) }
 
+// ParseHash decodes the hexadecimal form produced by Hash.Hex — the
+// inverse used wherever a key crosses a text boundary (CLI flags, JSON
+// request fields) and must become a store key again.
+func ParseHash(s string) (Hash, error) {
+	var h Hash
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return h, fmt.Errorf("codec: bad hash %q: %w", s, err)
+	}
+	if len(b) != len(h) {
+		return h, fmt.Errorf("codec: hash %q has %d bytes, want %d", s, len(b), len(h))
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
 // Writer accumulates a deterministic binary encoding. All integers are
 // varint-encoded, floats are their IEEE-754 bit patterns in fixed eight
 // bytes, and strings and byte slices are length-prefixed — there is no

@@ -68,6 +68,9 @@ type Cache struct {
 	placeStoreHits               atomic.Uint64
 	artifactHits, artifactMisses atomic.Uint64
 	memFlushes                   atomic.Uint64
+
+	placeTransfers, warmRouteNets atomic.Uint64
+	baselineMisses                atomic.Uint64
 }
 
 // maybeFlushLocked empties the memo maps when the entry cap is exceeded.
@@ -122,6 +125,13 @@ type Stats struct {
 	// memoryCapEntries bound that keeps a long-running server's
 	// footprint finite).
 	MemFlushes uint64
+	// PlaceTransfers counts annealer runs seeded by baseline placement
+	// transfer, and WarmRouteNets nets seeded from baseline routing
+	// trees — the ECO delta path's reuse. BaselineMisses counts delta
+	// compiles that fell back to the cold path because their baseline
+	// was missing, corrupt or no longer fit the edited modes.
+	PlaceTransfers, WarmRouteNets uint64
+	BaselineMisses                uint64
 	// Store is the persistent tier's own traffic (zero without a store).
 	Store store.Stats
 }
@@ -137,6 +147,9 @@ func (c *Cache) Stats() Stats {
 		ArtifactHits:   c.artifactHits.Load(),
 		ArtifactMisses: c.artifactMisses.Load(),
 		MemFlushes:     c.memFlushes.Load(),
+		PlaceTransfers: c.placeTransfers.Load(),
+		WarmRouteNets:  c.warmRouteNets.Load(),
+		BaselineMisses: c.baselineMisses.Load(),
 	}
 	if c.store != nil {
 		s.Store = c.store.Stats()
@@ -148,6 +161,10 @@ func (c *Cache) Stats() Stats {
 func (s Stats) String() string {
 	line := fmt.Sprintf("graphs %d built / %d hits; placements %d annealed / %d mem hits / %d store hits; artifacts %d store hits / %d misses",
 		s.GraphBuilds, s.GraphHits, s.PlaceAnneals, s.PlaceHits, s.PlaceStoreHits, s.ArtifactHits, s.ArtifactMisses)
+	if s.PlaceTransfers != 0 || s.WarmRouteNets != 0 || s.BaselineMisses != 0 {
+		line += fmt.Sprintf("; delta %d place transfers / %d warm nets / %d baseline misses",
+			s.PlaceTransfers, s.WarmRouteNets, s.BaselineMisses)
+	}
 	if s.Store != (store.Stats{}) {
 		line += fmt.Sprintf("; store %d hits / %d misses / %d corrupt, %dB read / %dB written, %d evicted",
 			s.Store.Hits, s.Store.Misses, s.Store.Corrupt, s.Store.BytesRead, s.Store.BytesWritten, s.Store.Evictions)

@@ -15,6 +15,10 @@ type Comparison struct {
 	MDR       *MDRResult
 	EdgeMatch *DCSResult
 	WireLen   *DCSResult
+	// Delta is set when a baseline was requested: either the delta path
+	// ran (UsedBaseline) or it fell back to a cold compile
+	// (BaselineMiss). Nil for ordinary cold compiles.
+	Delta *DeltaStats
 }
 
 // RunComparison sizes a shared region and implements the modes under MDR,
@@ -26,8 +30,33 @@ type Comparison struct {
 // of an N-mode merge does not scale with channel width — a CLB has K pins
 // at any W), the last attempts re-anneal with a perturbed seed instead;
 // runs that succeed within the widening attempts are unaffected.
+//
+// With Config.Baseline set, the compile first attempts the delta path
+// (see delta.go): reuse the baseline's region, transfer its placements
+// through the structural diff and warm-start routing. Every delta
+// failure — baseline missing, corrupt, or no longer fitting the edited
+// modes — falls back to this cold path, so a baseline never makes a
+// compilable input fail.
 func RunComparison(name string, modes []*lutnet.Circuit, cfg Config) (*Comparison, error) {
 	cfg = cfg.filled()
+	if cfg.Baseline != "" {
+		cmp, err := runComparisonDelta(name, modes, cfg)
+		if err == nil {
+			return cmp, nil
+		}
+		if cfg.Cache != nil {
+			cfg.Cache.baselineMisses.Add(1)
+		}
+		cmp, err = runComparisonCold(name, modes, cfg)
+		if err == nil {
+			cmp.Delta = &DeltaStats{BaselineMiss: true}
+		}
+		return cmp, err
+	}
+	return runComparisonCold(name, modes, cfg)
+}
+
+func runComparisonCold(name string, modes []*lutnet.Circuit, cfg Config) (*Comparison, error) {
 	region, err := SizeRegion(modes, cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,306 @@
+package flow
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/codec"
+	"repro/internal/lutnet"
+	"repro/internal/merge"
+	"repro/internal/place"
+	"repro/internal/route"
+)
+
+// The delta path is the ECO flow: instead of sizing a region and placing
+// and routing every mode from scratch, a compile against a baseline
+// artifact reuses the baseline's region, matches every mode's cells
+// against the baseline version with a structural diff, transfers the
+// baseline placements onto the matched portion, quenches the annealers at
+// the warm-start temperature, and seeds the routers from the baseline
+// trees so only nets touching moved or edited cells renegotiate.
+//
+// Delta results are deterministic (same baseline + same edit + same seed
+// give byte-identical results at any worker count) but are a different
+// trajectory than a cold compile of the same input — the QoR difference
+// is bounded by the equivalence suite in delta_test.go. Any problem with
+// the baseline — missing from the store, corrupt, wrong mode count,
+// sites that no longer fit — degrades to a cold compile, counted in
+// Stats.BaselineMisses; a baseline can never turn a compilable input
+// into a failure.
+
+// DeltaStats reports what a delta compile reused from its baseline.
+type DeltaStats struct {
+	// UsedBaseline is set when the delta path produced the result;
+	// BaselineMiss when a baseline was requested but the compile fell
+	// back to the cold path.
+	UsedBaseline bool
+	BaselineMiss bool
+	// ReusedModes counts MDR mode placements inherited verbatim
+	// (hash-identical circuits).
+	ReusedModes int
+	// PlaceTransfers counts annealer runs seeded by baseline transfer
+	// (edited MDR modes plus the two combined placements).
+	PlaceTransfers int
+	// WarmRouteNets counts nets seeded intact from baseline trees across
+	// every route of the compile.
+	WarmRouteNets int
+}
+
+// loadBaseline resolves Config.Baseline to a decoded artifact.
+func loadBaseline(cfg Config) (*Baseline, error) {
+	if cfg.Cache == nil {
+		return nil, fmt.Errorf("flow: baseline %q requested without a cache", cfg.Baseline)
+	}
+	key, err := codec.ParseHash(cfg.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	data, ok := cfg.Cache.GetArtifact(key)
+	if !ok {
+		return nil, fmt.Errorf("flow: baseline %s not in store", cfg.Baseline)
+	}
+	return DecodeBaseline(data)
+}
+
+// runComparisonDelta implements the modes against a baseline. Any error
+// is a reason to fall back to the cold path, never a final failure.
+func runComparisonDelta(name string, modes []*lutnet.Circuit, cfg Config) (*Comparison, error) {
+	base, err := loadBaseline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(base.Modes) != len(modes) {
+		return nil, fmt.Errorf("flow: baseline has %d modes, request has %d", len(base.Modes), len(modes))
+	}
+	region := cfg.NewRegion(base.Side, base.W)
+	region.MinW = base.MinW
+
+	// Diff each edited mode against its baseline version once; both the
+	// MDR and the DCS paths consume the same match.
+	diffs := make([]*codec.CircuitDiff, len(modes))
+	oldCs := make([]*lutnet.Circuit, len(modes))
+	for m, c := range modes {
+		bm := &base.Modes[m]
+		var h codec.Hash
+		if cfg.Cache != nil {
+			h = cfg.Cache.CircuitHash(c)
+		} else {
+			h = codec.HashCircuit(c)
+		}
+		if h == bm.CircuitHash {
+			continue // unchanged: nil diff means identity
+		}
+		oldC, derr := codec.DecodeCircuit(bm.Circuit)
+		if derr != nil {
+			return nil, fmt.Errorf("flow: baseline mode %d: %w", m, derr)
+		}
+		oldCs[m] = oldC
+		diffs[m] = codec.DiffCircuits(oldC, c)
+	}
+
+	delta := &DeltaStats{UsedBaseline: true}
+	cmp := &Comparison{Region: region, Delta: delta}
+	cmp.MDR, err = runMDRDelta(modes, region, cfg, base, oldCs, diffs, delta)
+	if err == nil {
+		cmp.EdgeMatch, err = runDCSDelta(name, modes, region, merge.EdgeMatch, cfg, base, oldCs, diffs, delta)
+	}
+	if err == nil {
+		cmp.WireLen, err = runDCSDelta(name, modes, region, merge.WireLength, cfg, base, oldCs, diffs, delta)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return cmp, nil
+}
+
+// matchVector maps the new circuit's cells onto baseline cell indices in
+// the place.FromCircuit encoding (blocks, PIs, POs), -1 for unmatched.
+func matchVector(d *codec.CircuitDiff, oldC, newC *lutnet.Circuit) []int {
+	oldB, oldP := len(oldC.Blocks), len(oldC.PINames)
+	match := make([]int, 0, len(newC.Blocks)+len(newC.PINames)+len(newC.POs))
+	for b := range newC.Blocks {
+		match = append(match, d.CellMap[b])
+	}
+	for i := range newC.PINames {
+		if j := d.PIMap[i]; j >= 0 {
+			match = append(match, oldB+j)
+		} else {
+			match = append(match, -1)
+		}
+	}
+	for o := range newC.POs {
+		if j := d.POMap[o]; j >= 0 {
+			match = append(match, oldB+oldP+j)
+		} else {
+			match = append(match, -1)
+		}
+	}
+	return match
+}
+
+// identityMatch is the match vector of an unchanged mode.
+func identityMatch(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// mapNetName translates a new net's canonical name ("blk<i>"/"pi<i>",
+// new indices) into the baseline's name space through the diff, or ""
+// when the driver has no baseline counterpart.
+func mapNetName(name string, d *codec.CircuitDiff) string {
+	if s := strings.TrimPrefix(name, "blk"); s != name {
+		i, err := strconv.Atoi(s)
+		if err != nil || i < 0 || i >= len(d.CellMap) || d.CellMap[i] < 0 {
+			return ""
+		}
+		return "blk" + strconv.Itoa(d.CellMap[i])
+	}
+	if s := strings.TrimPrefix(name, "pi"); s != name {
+		i, err := strconv.Atoi(s)
+		if err != nil || i < 0 || i >= len(d.PIMap) || d.PIMap[i] < 0 {
+			return ""
+		}
+		return "pi" + strconv.Itoa(d.PIMap[i])
+	}
+	return ""
+}
+
+// warmTreesFor pairs each new net with its baseline tree by canonical
+// name (mapped through the diff for edited modes). Nets without a
+// counterpart stay nil and route cold; trees that no longer reach their
+// sinks are discarded by the router itself.
+func warmTreesFor(nets []route.Net, bm *BaselineMode, d *codec.CircuitDiff) []*route.Tree {
+	byName := make(map[string]*route.Tree, len(bm.Nets))
+	for i := range bm.Nets {
+		byName[bm.Nets[i].Name] = &route.Tree{Edges: bm.Nets[i].Edges}
+	}
+	warm := make([]*route.Tree, len(nets))
+	for i := range nets {
+		name := nets[i].Name
+		if d != nil {
+			if name = mapNetName(name, d); name == "" {
+				continue
+			}
+		}
+		warm[i] = byName[name]
+	}
+	return warm
+}
+
+// runMDRDelta is RunMDR with warm starts: unchanged modes inherit the
+// baseline placement verbatim, edited modes transfer the matched portion
+// and quench, and every route is seeded from the baseline trees.
+func runMDRDelta(modes []*lutnet.Circuit, region *Region, cfg Config, base *Baseline, oldCs []*lutnet.Circuit, diffs []*codec.CircuitDiff, delta *DeltaStats) (*MDRResult, error) {
+	impls := make([]ModeImpl, 0, len(modes))
+	for mi, c := range modes {
+		bm := &base.Modes[mi]
+		cc := place.CellsOf(c)
+		numCells := cc.NumBlk + cc.NumPI + cc.NumPO
+		var pl *place.Placement
+		if diffs[mi] == nil {
+			if len(bm.Sites) != numCells {
+				return nil, fmt.Errorf("flow: baseline mode %d has %d sites for %d cells", mi, len(bm.Sites), numCells)
+			}
+			pl = &place.Placement{SiteOf: bm.Sites, Cost: bm.Cost}
+			delta.ReusedModes++
+		} else {
+			prob, _ := place.FromCircuit(c)
+			match := matchVector(diffs[mi], oldCs[mi], c)
+			init, _, err := place.TransferInit(prob, region.Arch, match, bm.Sites)
+			if err != nil {
+				return nil, fmt.Errorf("flow: delta MDR mode %d: %w", mi, err)
+			}
+			pl, err = place.Place(prob, region.Arch, place.Options{
+				Seed: cfg.Seed + int64(mi), Effort: cfg.PlaceEffort,
+				Workers: cfg.PlaceWorkers, Init: init, WarmStart: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("flow: delta MDR mode %d: %w", mi, err)
+			}
+			delta.PlaceTransfers++
+			if cfg.Cache != nil {
+				cfg.Cache.placeTransfers.Add(1)
+			}
+		}
+		impl, err := implementMode(region, c, cc, pl, cfg.RouteOpts, func(nets []route.Net) []*route.Tree {
+			return warmTreesFor(nets, bm, diffs[mi])
+		})
+		if err != nil {
+			return nil, fmt.Errorf("flow: delta MDR mode %d: %w", mi, err)
+		}
+		delta.WarmRouteNets += impl.Routing.Stats.WarmNets
+		if cfg.Cache != nil {
+			cfg.Cache.warmRouteNets.Add(uint64(impl.Routing.Stats.WarmNets))
+		}
+		impls = append(impls, impl)
+	}
+	return aggregateMDR(region, impls), nil
+}
+
+// runDCSDelta is RunDCS seeded from the baseline combined placement:
+// every mode's cells transfer through the diff onto the baseline's
+// per-mode sites, and the combined annealer quenches from there. TPlace
+// refines as usual and TRoute runs cold — tunable routing is rebuilt
+// from the (mostly inherited) placement, which negotiation reconverges
+// quickly anyway.
+func runDCSDelta(name string, modes []*lutnet.Circuit, region *Region, obj merge.Objective, cfg Config, base *Baseline, oldCs []*lutnet.Circuit, diffs []*codec.CircuitDiff, delta *DeltaStats) (*DCSResult, error) {
+	bm := &base.Merges[obj]
+	if len(bm.ModeSites) != len(modes) {
+		return nil, fmt.Errorf("flow: baseline %s merge has %d modes, request has %d", obj, len(bm.ModeSites), len(modes))
+	}
+	inits := make([][]arch.Site, len(modes))
+	for m, c := range modes {
+		prob, cc := place.FromCircuit(c)
+		var match []int
+		if diffs[m] == nil {
+			numCells := cc.NumBlk + cc.NumPI + cc.NumPO
+			if len(bm.ModeSites[m]) != numCells {
+				return nil, fmt.Errorf("flow: baseline %s merge mode %d has %d sites for %d cells", obj, m, len(bm.ModeSites[m]), numCells)
+			}
+			match = identityMatch(numCells)
+		} else {
+			match = matchVector(diffs[m], oldCs[m], c)
+		}
+		init, _, err := place.TransferInit(prob, region.Arch, match, bm.ModeSites[m])
+		if err != nil {
+			return nil, fmt.Errorf("flow: delta %s merge mode %d: %w", obj, m, err)
+		}
+		inits[m] = init
+	}
+	mres, err := merge.CombinedPlace(name, modes, region.Arch, merge.Options{
+		Seed: cfg.Seed, Effort: cfg.PlaceEffort, Objective: obj,
+		Workers: cfg.PlaceWorkers, Init: inits, WarmStart: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	delta.PlaceTransfers++
+	if cfg.Cache != nil {
+		cfg.Cache.placeTransfers.Add(1)
+	}
+	// TPlace normally refines the combined placement at the refinement
+	// temperature; in the delta path the topology it refines was already
+	// TPlace-refined in the baseline, so open at the warm-start quench
+	// temperature instead (a caller-set fraction still wins).
+	qcfg := cfg
+	if qcfg.RefineTempFraction == 0 {
+		qcfg.RefineTempFraction = 0.02
+	}
+	res, err := finishDCS(mres, region, qcfg)
+	if err == nil {
+		return res, nil
+	}
+	// The quench can leave the tunable circuit unroutable on congested
+	// instances: the combined annealer is blind to pin congestion, and a
+	// placement nudged off the baseline can demand the same input pin
+	// twice in ways no channel width fixes. Re-anneal just this objective
+	// from scratch on the baseline region — the MDR savings and the other
+	// objective's delta are kept, and the retry is deterministic like
+	// everything else here.
+	return RunDCS(name, modes, region, obj, cfg)
+}

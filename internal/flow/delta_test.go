@@ -1,0 +1,233 @@
+package flow
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/logic"
+	"repro/internal/lutnet"
+	"repro/internal/store"
+)
+
+// editCircuit returns a deep copy of c with nEdits random LUTs re-functioned
+// (one truth-table row flipped each) — the canonical ECO edit. Flipping a
+// valid row guarantees the content hash changes.
+func editCircuit(c *lutnet.Circuit, seed int64, nEdits int) *lutnet.Circuit {
+	e := &lutnet.Circuit{
+		Name:    c.Name,
+		K:       c.K,
+		PINames: append([]string(nil), c.PINames...),
+		POs:     append([]lutnet.PO(nil), c.POs...),
+		Blocks:  append([]lutnet.Block(nil), c.Blocks...),
+	}
+	for i := range e.Blocks {
+		e.Blocks[i].Inputs = append([]lutnet.Source(nil), e.Blocks[i].Inputs...)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for k := 0; k < nEdits; k++ {
+		bi := rng.Intn(len(e.Blocks))
+		tt := e.Blocks[bi].TT
+		rows := 1 << tt.NumVars
+		e.Blocks[bi].TT = logic.NewTT(tt.NumVars, tt.Bits^(uint64(1)<<rng.Intn(rows)))
+	}
+	return e
+}
+
+// deltaFixture compiles a three-mode group cold, stores its baseline
+// artifact and returns everything a delta test needs.
+type deltaFixture struct {
+	cfg    Config
+	mapped []*lutnet.Circuit
+	cold   *Comparison
+	key    codec.Hash
+}
+
+func newDeltaFixture(t *testing.T) *deltaFixture {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{PlaceEffort: 0.15, Seed: 5, Cache: NewCacheWithStore(st)}
+	nls := buildPair(t, 41, 42, 24)
+	nls = append(nls, buildPair(t, 43, 44, 24)[0])
+	mapped, err := MapModes(nls, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := RunComparison("base", mapped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := codec.Sum([]byte("delta-test-baseline"))
+	cfg.Cache.PutArtifact(key, EncodeBaseline(BuildBaseline(cold, mapped)))
+	return &deltaFixture{cfg: cfg, mapped: mapped, cold: cold, key: key}
+}
+
+// TestBaselineRoundTrip: the artifact encoding is lossless.
+func TestBaselineRoundTrip(t *testing.T) {
+	fx := newDeltaFixture(t)
+	b := BuildBaseline(fx.cold, fx.mapped)
+	dec, err := DecodeBaseline(EncodeBaseline(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b, dec) {
+		t.Fatal("baseline artifact did not round-trip")
+	}
+	if _, err := DecodeBaseline([]byte("garbage")); err == nil {
+		t.Fatal("garbage decoded as a baseline")
+	}
+}
+
+// TestDeltaEquivalence is the delta-vs-cold equivalence suite: over 20
+// seeded 1-to-3-LUT edits of a three-mode group, every delta compile must
+// (a) succeed and use the baseline, (b) reuse the two untouched modes
+// verbatim and warm-route most nets, (c) be byte-identical at any worker
+// count, and (d) on the sampled edits, stay within the documented QoR
+// envelope of a cold compile of the same edited input: average per-mode
+// wirelength within 1.75x (the delta placement is a quench of the
+// baseline, not a fresh anneal, so some wirelength regression is the
+// price of the speedup; the envelope is asserted so it cannot silently
+// grow).
+func TestDeltaEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	fx := newDeltaFixture(t)
+	dcfg := fx.cfg
+	dcfg.Baseline = fx.key.Hex()
+
+	for i := 0; i < 20; i++ {
+		i := i
+		t.Run(fmt.Sprintf("edit%02d", i), func(t *testing.T) {
+			mi := i % 3
+			nEdits := 1 + i%3
+			edited := append([]*lutnet.Circuit(nil), fx.mapped...)
+			edited[mi] = editCircuit(fx.mapped[mi], int64(100+i), nEdits)
+
+			dcmp, err := RunComparison("delta", edited, dcfg)
+			if err != nil {
+				t.Fatalf("delta compile failed: %v", err)
+			}
+			d := dcmp.Delta
+			if d == nil || !d.UsedBaseline || d.BaselineMiss {
+				t.Fatalf("delta path not taken: %+v", d)
+			}
+			if d.ReusedModes != 2 {
+				t.Fatalf("reused %d/2 untouched modes", d.ReusedModes)
+			}
+			// One edited MDR mode + two combined placements transfer.
+			if d.PlaceTransfers != 3 {
+				t.Fatalf("PlaceTransfers = %d, want 3", d.PlaceTransfers)
+			}
+			if d.WarmRouteNets == 0 {
+				t.Fatal("no nets warm-routed")
+			}
+			// The delta region is the baseline region verbatim.
+			if dcmp.Region.Arch.Width != fx.cold.Region.Arch.Width || dcmp.Region.Arch.W != fx.cold.Region.Arch.W {
+				t.Fatalf("delta region %dx%d/W%d differs from baseline",
+					dcmp.Region.Arch.Width, dcmp.Region.Arch.Width, dcmp.Region.Arch.W)
+			}
+
+			if i == 0 {
+				// Determinism: the same delta at -placej/-routej 4 is
+				// byte-identical.
+				jcfg := dcfg
+				jcfg.PlaceWorkers = 4
+				jcfg.RouteWorkers = 4
+				jcmp, err := RunComparison("delta", edited, jcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for m := range dcmp.MDR.PerMode {
+					if !reflect.DeepEqual(dcmp.MDR.PerMode[m].Placement.SiteOf, jcmp.MDR.PerMode[m].Placement.SiteOf) {
+						t.Fatalf("mode %d placement differs across worker counts", m)
+					}
+					if !reflect.DeepEqual(dcmp.MDR.PerMode[m].Routing.Trees, jcmp.MDR.PerMode[m].Routing.Trees) {
+						t.Fatalf("mode %d routing differs across worker counts", m)
+					}
+				}
+				if dcmp.WireLen.ReconfigBits != jcmp.WireLen.ReconfigBits ||
+					dcmp.WireLen.TPlaceCost != jcmp.WireLen.TPlaceCost ||
+					dcmp.EdgeMatch.ReconfigBits != jcmp.EdgeMatch.ReconfigBits {
+					t.Fatal("DCS results differ across worker counts")
+				}
+			}
+
+			if i%7 == 0 {
+				// QoR accounting against a cold compile of the same edit.
+				ccmp, err := RunComparison("cold", edited, fx.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dcmp.MDR.AvgWire > 1.75*ccmp.MDR.AvgWire {
+					t.Errorf("delta MDR wire %.1f exceeds 1.75x cold %.1f", dcmp.MDR.AvgWire, ccmp.MDR.AvgWire)
+				}
+				if dcmp.WireLen.AvgWire > 1.75*ccmp.WireLen.AvgWire {
+					t.Errorf("delta DCS wire %.1f exceeds 1.75x cold %.1f", dcmp.WireLen.AvgWire, ccmp.WireLen.AvgWire)
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaFallsBackCold: a missing and a corrupt baseline both degrade
+// to a cold compile — identical to a baseline-free run — and are counted.
+func TestDeltaFallsBackCold(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{PlaceEffort: 0.15, Seed: 5, Cache: NewCacheWithStore(st)}
+	mapped, err := MapModes(buildPair(t, 41, 42, 24), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := RunComparison("cold", mapped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Missing baseline.
+	mcfg := cfg
+	mcfg.Baseline = codec.Sum([]byte("no-such-artifact")).Hex()
+	miss, err := RunComparison("miss", mapped, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.Delta == nil || !miss.Delta.BaselineMiss || miss.Delta.UsedBaseline {
+		t.Fatalf("missing baseline not reported: %+v", miss.Delta)
+	}
+
+	// Corrupt baseline.
+	ckey := codec.Sum([]byte("corrupt-artifact"))
+	cfg.Cache.PutArtifact(ckey, []byte("not a baseline"))
+	ccfg := cfg
+	ccfg.Baseline = ckey.Hex()
+	corrupt, err := RunComparison("corrupt", mapped, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt.Delta == nil || !corrupt.Delta.BaselineMiss {
+		t.Fatalf("corrupt baseline not reported: %+v", corrupt.Delta)
+	}
+
+	if got := cfg.Cache.Stats().BaselineMisses; got != 2 {
+		t.Fatalf("BaselineMisses = %d, want 2", got)
+	}
+	// The fallback is the cold path: same placements as the baseline-free
+	// run (placements come from the shared cache, but routing and DCS are
+	// recomputed identically).
+	for m := range cold.MDR.PerMode {
+		if !reflect.DeepEqual(cold.MDR.PerMode[m].Routing.Trees, corrupt.MDR.PerMode[m].Routing.Trees) {
+			t.Fatalf("fallback mode %d routing differs from cold", m)
+		}
+	}
+	if cold.WireLen.ReconfigBits != corrupt.WireLen.ReconfigBits {
+		t.Fatal("fallback DCS differs from cold")
+	}
+}

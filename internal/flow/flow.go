@@ -58,6 +58,15 @@ type Config struct {
 	// of placement, group-result and compile-request artifact keys.
 	// 0 or 1 is a single start.
 	PlaceStarts int
+	// Baseline, when non-empty, is the hex store key of an eco-baseline
+	// artifact from a prior compile (see BuildBaseline): RunComparison
+	// then skips region sizing, transfers the baseline placements onto
+	// the edited modes through a structural diff, and warm-starts the
+	// routers from the baseline trees. Delta results are deterministic
+	// but follow a different trajectory than a cold compile, so the key
+	// is part of every artifact identity; a missing or unusable baseline
+	// degrades to a cold compile (counted in Stats.BaselineMisses).
+	Baseline string
 	// Cache, when non-nil, memoizes routing-resource graphs and placements
 	// across calls (see Cache), and — when backed by a persistent artifact
 	// store — across processes. Results are identical with or without it;
@@ -251,41 +260,63 @@ type MDRResult struct {
 	AvgWire float64
 }
 
+// implementMode routes one placed mode and assembles its ModeImpl. warm,
+// when non-nil, maps the derived nets to baseline routing trees (the
+// delta path's seed); a nil warm routes cold.
+func implementMode(region *Region, c *lutnet.Circuit, cc place.CircuitCells, pl *place.Placement, ro route.Options, warm func([]route.Net) []*route.Tree) (ModeImpl, error) {
+	nets, err := route.NetsForPlacedCircuit(region.Graph, c, cc, pl)
+	if err != nil {
+		return ModeImpl{}, err
+	}
+	if warm != nil {
+		ro.Warm = warm(nets)
+	}
+	rr, err := route.Route(region.Graph, nets, ro)
+	if err != nil {
+		return ModeImpl{}, err
+	}
+	return ModeImpl{
+		Placement: pl, Cells: cc, Nets: nets, Routing: rr,
+		WireLen:  route.TotalWireLength(region.Graph, rr),
+		UsedBits: route.UsedBits(region.Graph, rr.Trees),
+	}, nil
+}
+
+// aggregateMDR folds per-mode implementations into the MDR metrics.
+func aggregateMDR(region *Region, impls []ModeImpl) *MDRResult {
+	res := &MDRResult{ReconfigBits: region.Graph.TotalConfigBits(), PerMode: impls}
+	bitCount := map[int32]int{} // bit -> number of modes where on
+	for i := range impls {
+		for b := range impls[i].UsedBits {
+			bitCount[b]++
+		}
+		res.AvgWire += float64(impls[i].WireLen)
+	}
+	res.AvgWire /= float64(len(impls))
+	for _, cnt := range bitCount {
+		if cnt != len(impls) {
+			res.DiffRoutingBits++ // on in some but not all modes
+		}
+	}
+	return res
+}
+
 // RunMDR implements every mode separately in the region.
 func RunMDR(modes []*lutnet.Circuit, region *Region, cfg Config) (*MDRResult, error) {
 	cfg = cfg.filled()
-	res := &MDRResult{ReconfigBits: region.Graph.TotalConfigBits()}
-	bitCount := map[int32]int{} // bit -> number of modes where on
+	impls := make([]ModeImpl, 0, len(modes))
 	for mi, c := range modes {
 		pl, cc, err := placeCircuit(c, region.Arch, cfg, int64(mi))
 		if err != nil {
 			return nil, fmt.Errorf("flow: MDR mode %d: %w", mi, err)
 		}
-		nets, err := route.NetsForPlacedCircuit(region.Graph, c, cc, pl)
-		if err != nil {
-			return nil, err
-		}
-		rr, err := route.Route(region.Graph, nets, cfg.RouteOpts)
+		impl, err := implementMode(region, c, cc, pl, cfg.RouteOpts, nil)
 		if err != nil {
 			return nil, fmt.Errorf("flow: MDR mode %d: %w", mi, err)
 		}
-		used := route.UsedBits(region.Graph, rr.Trees)
-		for b := range used {
-			bitCount[b]++
-		}
-		wl := route.TotalWireLength(region.Graph, rr)
-		res.PerMode = append(res.PerMode, ModeImpl{
-			Placement: pl, Cells: cc, Nets: nets, Routing: rr, WireLen: wl, UsedBits: used,
-		})
-		res.AvgWire += float64(wl)
+		impls = append(impls, impl)
 	}
-	res.AvgWire /= float64(len(modes))
-	for _, cnt := range bitCount {
-		if cnt != len(modes) {
-			res.DiffRoutingBits++ // on in some but not all modes
-		}
-	}
-	return res, nil
+	return aggregateMDR(region, impls), nil
 }
 
 // DiffReconfigBits is the Diff accounting: all LUT bits plus only the
@@ -318,7 +349,13 @@ func RunDCS(name string, modes []*lutnet.Circuit, region *Region, obj merge.Obje
 	if err != nil {
 		return nil, err
 	}
+	return finishDCS(mres, region, cfg)
+}
 
+// finishDCS takes a combined placement through TPlace and TRoute and
+// assembles the DCS metrics — shared by the cold path and the delta path
+// (which differ only in how the combined placement was seeded).
+func finishDCS(mres *merge.Result, region *Region, cfg Config) (*DCSResult, error) {
 	// TPlace: refine the combined placement of the Tunable circuit (the
 	// topology is fixed now), then route.
 	lutSites, padSites, tpCost, err := TPlace(mres.Tunable, region.Arch, cfg, mres.LUTSite, mres.PadSite)

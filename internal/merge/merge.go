@@ -59,6 +59,18 @@ type Options struct {
 	// single start. Starts changes results, so it IS part of artifact
 	// keys.
 	Starts int
+	// Init seeds each mode's placement (Init[m][cell] in the per-mode
+	// cell encoding: blocks, then PIs, then POs) instead of the random
+	// start, and switches the annealer to refinement. The ECO path builds
+	// it by transferring a baseline combined placement through the
+	// netlist diff.
+	Init [][]arch.Site
+	// WarmStart quenches Init at the anneal kernel's warm-start
+	// temperature instead of the refinement temperature.
+	WarmStart bool
+	// WarmStartTempFraction scales the starting temperature when
+	// WarmStart is set (default 0.02).
+	WarmStartTempFraction float64
 }
 
 // Result carries the merged Tunable circuit, the grouping assignment and
@@ -200,8 +212,9 @@ type state struct {
 }
 
 // newState builds the combined-placement state with a random legal
-// initial placement per mode.
-func newState(modes []*lutnet.Circuit, a arch.Arch, obj Objective, rng *rand.Rand) (*state, error) {
+// initial placement per mode, or — when init is non-nil — the given
+// per-mode placement (validated for class, occupancy and site existence).
+func newState(modes []*lutnet.Circuit, a arch.Arch, obj Objective, rng *rand.Rand, init [][]arch.Site) (*state, error) {
 	st := &state{
 		clbSites:  a.CLBSites(),
 		ioSites:   a.IOSites(),
@@ -221,6 +234,19 @@ func newState(modes []*lutnet.Circuit, a arch.Arch, obj Objective, rng *rand.Ran
 		st.modes = append(st.modes, mi)
 	}
 
+	if init != nil && len(init) != len(st.modes) {
+		return nil, fmt.Errorf("merge: init covers %d modes, want %d", len(init), len(st.modes))
+	}
+	var posBySite map[arch.Site]int32
+	if init != nil {
+		posBySite = make(map[arch.Site]int32, st.nPos)
+		for i, s := range st.clbSites {
+			posBySite[s] = int32(i)
+		}
+		for i, s := range st.ioSites {
+			posBySite[s] = int32(len(st.clbSites) + i)
+		}
+	}
 	st.posOf = make([][]int32, len(st.modes))
 	st.cellAt = make([][]int32, len(st.modes))
 	for m, mi := range st.modes {
@@ -228,6 +254,27 @@ func newState(modes []*lutnet.Circuit, a arch.Arch, obj Objective, rng *rand.Ran
 		st.cellAt[m] = make([]int32, st.nPos)
 		for p := range st.cellAt[m] {
 			st.cellAt[m][p] = -1
+		}
+		if init != nil {
+			if len(init[m]) != mi.numCells() {
+				return nil, fmt.Errorf("merge: init mode %d covers %d cells, want %d", m, len(init[m]), mi.numCells())
+			}
+			for c := int32(0); int(c) < mi.numCells(); c++ {
+				s := init[m][c]
+				pos, ok := posBySite[s]
+				if !ok {
+					return nil, fmt.Errorf("merge: init mode %d site %v not in architecture", m, s)
+				}
+				if s.IsIO != mi.isIO(c) {
+					return nil, fmt.Errorf("merge: init mode %d puts cell %d on wrong site class %v", m, c, s)
+				}
+				if st.cellAt[m][pos] >= 0 {
+					return nil, fmt.Errorf("merge: init mode %d places two cells on %v", m, s)
+				}
+				st.posOf[m][c] = pos
+				st.cellAt[m][pos] = c
+			}
+			continue
 		}
 		clbPerm := rng.Perm(len(st.clbSites))
 		ioPerm := rng.Perm(len(st.ioSites))
@@ -474,7 +521,7 @@ func CombinedPlace(name string, modes []*lutnet.Circuit, a arch.Arch, opt Option
 	for i := range states {
 		seed := opt.Seed + int64(i)*anneal.StartSeedStride
 		rng := rand.New(rand.NewSource(seed))
-		st, err := newState(modes, a, opt.Objective, rng)
+		st, err := newState(modes, a, opt.Objective, rng, opt.Init)
 		if err != nil {
 			return nil, err
 		}
@@ -487,11 +534,14 @@ func CombinedPlace(name string, modes []*lutnet.Circuit, a arch.Arch, opt Option
 			nNets = 1
 		}
 		anneal.Run(st, anneal.Config{
-			Effort: opt.Effort,
-			Span:   a.Width + a.Height,
-			Cells:  nCells,
-			Nets:   nNets,
-			Pool:   pool,
+			Effort:                opt.Effort,
+			Span:                  a.Width + a.Height,
+			Cells:                 nCells,
+			Nets:                  nNets,
+			Refine:                opt.Init != nil,
+			WarmStart:             opt.Init != nil && opt.WarmStart,
+			WarmStartTempFraction: opt.WarmStartTempFraction,
+			Pool:                  pool,
 		}, rng)
 		states[i], costs[i], seeds[i] = st, st.totalCost(), seed
 	}

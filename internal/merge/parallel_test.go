@@ -86,7 +86,7 @@ func TestMergeEvalSlotMatchesApplySlot(t *testing.T) {
 	a := archFor(modes)
 	for _, obj := range []Objective{WireLength, EdgeMatch} {
 		rng := rand.New(rand.NewSource(14))
-		st, err := newState(modes, a, obj, rng)
+		st, err := newState(modes, a, obj, rng, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +121,7 @@ func TestMergeBatchAccountingMatchesRecompute(t *testing.T) {
 	}
 	a := archFor(modes)
 	rng := rand.New(rand.NewSource(15))
-	st, err := newState(modes, a, WireLength, rng)
+	st, err := newState(modes, a, WireLength, rng, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

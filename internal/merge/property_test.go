@@ -33,7 +33,7 @@ func TestMergeIncrementalCostMatchesRecompute(t *testing.T) {
 	a := archFor(modes)
 	for _, obj := range []Objective{WireLength, EdgeMatch} {
 		rng := rand.New(rand.NewSource(13))
-		st, err := newState(modes, a, obj, rng)
+		st, err := newState(modes, a, obj, rng, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

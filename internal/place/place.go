@@ -106,6 +106,14 @@ type Options struct {
 	// RefineTempFraction scales the usual starting temperature when Init
 	// is set (default 0.1).
 	RefineTempFraction float64
+	// WarmStart quenches Init at an even lower temperature and a tighter
+	// range limit (see anneal.Config.WarmStart) — the ECO placement
+	// transfer path, where Init is a baseline placement already near its
+	// optimum and only the edited region should move.
+	WarmStart bool
+	// WarmStartTempFraction scales the starting temperature when
+	// WarmStart is set (default 0.02).
+	WarmStartTempFraction float64
 	// Workers bounds the parallel evaluation of move batches. Results are
 	// byte-identical at any worker count (see internal/anneal), so
 	// Workers is a wall-clock knob only and stays out of artifact keys.
@@ -160,13 +168,15 @@ func Place(p *Problem, a arch.Arch, opt Options) (*Placement, error) {
 			return nil, err
 		}
 		anneal.Run(st, anneal.Config{
-			Effort:             opt.Effort,
-			Span:               a.Width + a.Height,
-			Cells:              len(p.Cells),
-			Nets:               len(p.Nets),
-			Refine:             opt.Init != nil,
-			RefineTempFraction: opt.RefineTempFraction,
-			Pool:               pool,
+			Effort:                opt.Effort,
+			Span:                  a.Width + a.Height,
+			Cells:                 len(p.Cells),
+			Nets:                  len(p.Nets),
+			Refine:                opt.Init != nil,
+			RefineTempFraction:    opt.RefineTempFraction,
+			WarmStart:             opt.Init != nil && opt.WarmStart,
+			WarmStartTempFraction: opt.WarmStartTempFraction,
+			Pool:                  pool,
 		}, rng)
 		states[i], costs[i], seeds[i] = st, st.totalCost(), seed
 	}

@@ -1,0 +1,111 @@
+package place
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// TransferInit builds an initial placement for prob from a baseline
+// placement of an earlier design version — the ECO placement transfer.
+// match[c] names the baseline cell whose site cell c inherits (-1 for
+// none), and baseSites holds the baseline's per-cell sites. Matched cells
+// keep their baseline site when it is legal for them (exists in a, right
+// class, not already claimed); every other cell is placed greedily in cell
+// index order on the free same-class site nearest the centroid of its
+// already-placed net neighbors (first free site when it has none). The
+// result seeds Place with Options.Init + WarmStart. Returns the init
+// sites and the number of cells that inherited a baseline site.
+//
+// The construction reads only prob, match and baseSites in fixed index
+// order, so it is deterministic; legality is re-validated by newState.
+func TransferInit(prob *Problem, a arch.Arch, match []int, baseSites []arch.Site) ([]arch.Site, int, error) {
+	if len(match) != len(prob.Cells) {
+		return nil, 0, fmt.Errorf("place: transfer match covers %d cells, want %d", len(match), len(prob.Cells))
+	}
+	clbSites := a.CLBSites()
+	ioSites := a.IOSites()
+	posBySite := make(map[arch.Site]int, len(clbSites)+len(ioSites))
+	for i, s := range clbSites {
+		posBySite[s] = i
+	}
+	for i, s := range ioSites {
+		posBySite[s] = len(clbSites) + i
+	}
+	taken := make([]bool, len(clbSites)+len(ioSites))
+
+	init := make([]arch.Site, len(prob.Cells))
+	placed := make([]bool, len(prob.Cells))
+	inherited := 0
+	for c := range prob.Cells {
+		o := match[c]
+		if o < 0 || o >= len(baseSites) {
+			continue
+		}
+		s := baseSites[o]
+		pos, ok := posBySite[s]
+		if !ok || taken[pos] || s.IsIO != prob.Cells[c].IsIO {
+			continue
+		}
+		init[c] = s
+		placed[c] = true
+		taken[pos] = true
+		inherited++
+	}
+
+	// Net adjacency for centroid targeting of the unplaced cells.
+	netsOf := make([][]int, len(prob.Cells))
+	for ni := range prob.Nets {
+		for _, c := range prob.Nets[ni].Cells {
+			netsOf[c] = append(netsOf[c], ni)
+		}
+	}
+	for c := range prob.Cells {
+		if placed[c] {
+			continue
+		}
+		tx, ty := float64(a.Width+1)/2, float64(a.Height+1)/2
+		sumX, sumY, n := 0, 0, 0
+		for _, ni := range netsOf[c] {
+			for _, other := range prob.Nets[ni].Cells {
+				if other != c && placed[other] {
+					sumX += init[other].X
+					sumY += init[other].Y
+					n++
+				}
+			}
+		}
+		if n > 0 {
+			tx, ty = float64(sumX)/float64(n), float64(sumY)/float64(n)
+		}
+		sites, base := clbSites, 0
+		if prob.Cells[c].IsIO {
+			sites, base = ioSites, len(clbSites)
+		}
+		best, bestDist := -1, 0.0
+		for i, s := range sites {
+			if taken[base+i] {
+				continue
+			}
+			d := abs64(float64(s.X)-tx) + abs64(float64(s.Y)-ty)
+			if best < 0 || d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		if best < 0 {
+			return nil, 0, fmt.Errorf("place: transfer ran out of %s sites at cell %d",
+				map[bool]string{true: "pad", false: "CLB"}[prob.Cells[c].IsIO], c)
+		}
+		init[c] = sites[best]
+		placed[c] = true
+		taken[base+best] = true
+	}
+	return init, inherited, nil
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

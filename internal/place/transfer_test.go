@@ -1,0 +1,93 @@
+package place
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// transferProblem builds a small mixed CLB/IO problem with a few nets.
+func transferProblem(cells int) *Problem {
+	p := &Problem{}
+	for i := 0; i < cells; i++ {
+		p.Cells = append(p.Cells, Cell{Name: "c", IsIO: i%4 == 0})
+	}
+	for i := 0; i+3 < cells; i += 2 {
+		p.Nets = append(p.Nets, Net{Cells: []int{i, i + 1, i + 3}})
+	}
+	return p
+}
+
+func TestTransferInitIdentity(t *testing.T) {
+	a := arch.New(6, 6, 4)
+	p := transferProblem(16)
+	base, err := Place(p, a, Options{Seed: 3, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	match := make([]int, len(p.Cells))
+	for i := range match {
+		match[i] = i
+	}
+	init, inherited, err := TransferInit(p, a, match, base.SiteOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inherited != len(p.Cells) {
+		t.Fatalf("identity transfer inherited %d/%d sites", inherited, len(p.Cells))
+	}
+	if !reflect.DeepEqual(init, base.SiteOf) {
+		t.Fatalf("identity transfer moved cells:\n got %v\nwant %v", init, base.SiteOf)
+	}
+}
+
+func TestTransferInitPartialSeedsWarmStart(t *testing.T) {
+	a := arch.New(6, 6, 4)
+	p := transferProblem(16)
+	base, err := Place(p, a, Options{Seed: 3, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop a third of the matches, as if those cells were added by an
+	// edit; greedy placement must fill them on legal free sites.
+	rnd := rand.New(rand.NewSource(7))
+	match := make([]int, len(p.Cells))
+	for i := range match {
+		match[i] = i
+		if rnd.Intn(3) == 0 {
+			match[i] = -1
+		}
+	}
+	init, inherited, err := TransferInit(p, a, match, base.SiteOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inherited >= len(p.Cells) || inherited == 0 {
+		t.Fatalf("partial transfer inherited %d/%d sites", inherited, len(p.Cells))
+	}
+	// Deterministic: a second call is byte-identical.
+	init2, _, err := TransferInit(p, a, match, base.SiteOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(init, init2) {
+		t.Fatal("TransferInit is not deterministic")
+	}
+	// The init must be accepted by the warm-start annealer (newState
+	// validates class, occupancy and site existence).
+	warm, err := Place(p, a, Options{Seed: 3, Effort: 0.2, Init: init, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cost <= 0 {
+		t.Fatalf("warm placement cost %v", warm.Cost)
+	}
+	// Matched cells inherit their exact baseline site.
+	for c := range p.Cells {
+		if match[c] >= 0 && init[c] != base.SiteOf[c] {
+			t.Fatalf("cell %d lost its baseline site: %v -> %v", c, base.SiteOf[c], init[c])
+		}
+	}
+}

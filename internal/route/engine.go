@@ -184,6 +184,11 @@ func newRouter(g *arch.Graph, nets []Net, opt Options) *router {
 			nr.conns[k] = conn{sink: n.Sinks[si], mask: mask, dirty: true}
 			r.stats.Connections++
 		}
+		if opt.Warm != nil {
+			if t := opt.Warm[ni]; t != nil {
+				r.seedWarm(nr, t)
+			}
+		}
 	}
 
 	r.treeMask = make([]uint64, g.NumNodes())
@@ -203,7 +208,92 @@ func newRouter(g *arch.Graph, nets []Net, opt Options) *router {
 		r.applyUnion(+1)
 		r.wipeUnion()
 	}
+	if opt.Warm != nil {
+		r.dirtyOverusedWarm()
+	}
 	return r
+}
+
+// seedWarm pre-routes net nr's connections from a baseline tree: for each
+// sink reachable from nr.source by a backward walk over the tree's edges,
+// the connection starts routed on that source-rooted path and clean. A
+// sink the walk cannot resolve — the cell moved, the tree belongs to an
+// older geometry, the edge list is cyclic or out of bounds — leaves its
+// connection dirty, so it simply routes cold. Occupancy for the seeded
+// paths is folded in by the source-parking pass in newRouter.
+func (r *router) seedWarm(nr *netRT, t *Tree) {
+	numNodes := int32(r.g.NumNodes())
+	if nr.source < 0 || nr.source >= numNodes {
+		return
+	}
+	parent := make(map[int32]int32, len(t.Edges))
+	for _, e := range t.Edges {
+		if e.From < 0 || e.From >= numNodes || e.To < 0 || e.To >= numNodes {
+			return
+		}
+		parent[e.To] = e.From
+	}
+	var rev []int32
+	seeded := false
+	for ci := range nr.conns {
+		c := &nr.conns[ci]
+		rev = rev[:0]
+		node := c.sink
+		ok := false
+		for steps := 0; steps <= len(t.Edges); steps++ {
+			rev = append(rev, node)
+			if node == nr.source {
+				ok = true
+				break
+			}
+			p, exists := parent[node]
+			if !exists {
+				break
+			}
+			node = p
+		}
+		if !ok {
+			continue
+		}
+		path := make([]int32, len(rev))
+		for i, n := range rev {
+			path[len(rev)-1-i] = n
+		}
+		c.path = path
+		c.dirty = false
+		seeded = true
+		r.stats.WarmConns++
+	}
+	if seeded {
+		r.stats.WarmNets++
+	}
+}
+
+// dirtyOverusedWarm re-marks any warm-seeded connection whose path crosses
+// a node overused in one of its modes. Mutually legal baseline trees never
+// trip this, but a transferred placement can seed paths that collide with
+// the fixed sources of moved nets — without this pass such a collision
+// would present as "nothing to reroute, yet overused" and fail, instead of
+// entering negotiation.
+func (r *router) dirtyOverusedWarm() {
+	for ni := range r.nets {
+		N := &r.nets[ni]
+		for ci := range N.conns {
+			c := &N.conns[ci]
+			if c.dirty || c.path == nil {
+				continue
+			}
+		scan:
+			for _, node := range c.path {
+				for m := 0; m < len(r.occ); m++ {
+					if c.mask>>uint(m)&1 == 1 && r.occ[m][node] > r.cap[node] {
+						c.dirty = true
+						break scan
+					}
+				}
+			}
+		}
+	}
 }
 
 // nodeCost prices node n for a branch occupying curMask, with history over

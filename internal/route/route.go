@@ -74,9 +74,15 @@ type Stats struct {
 	// Connections is the number of source→sink connections in the netlist.
 	Connections int
 	// Rerouted[i] is the number of connections ripped up and rerouted in
-	// iteration i+1. Rerouted[0] == Connections (the cold route); later
-	// entries shrink as congestion localises.
+	// iteration i+1. Rerouted[0] == Connections on a cold route (a warm
+	// start reroutes only the connections its baseline could not seed);
+	// later entries shrink as congestion localises.
 	Rerouted []int
+	// WarmConns is the number of connections seeded intact from
+	// Options.Warm baseline trees; WarmNets the number of nets with at
+	// least one such connection.
+	WarmConns int
+	WarmNets  int
 	// Requeued counts parallel commits that conflicted and fell back to a
 	// serial reroute. Deterministic: conflicts depend on batch composition
 	// and commit order, not on worker scheduling.
@@ -147,6 +153,16 @@ type Options struct {
 	// ripped up and rerouted on every iteration, as in classic whole-net
 	// PathFinder. The baseline for BenchmarkRoute and a debugging aid.
 	FullRipUp bool
+	// Warm, when non-nil, is parallel to the nets slice and seeds the
+	// router from a baseline routing (the ECO warm start): for each
+	// non-nil tree, every connection whose sink is reachable from the
+	// net's source by walking the tree's edges starts already routed on
+	// that path, and only the rest — moved cells, edited nets, seeds
+	// crossing overused nodes — are ripped up for negotiation. Trees that
+	// no longer fit (different graph, moved source or sink) degrade to a
+	// cold route for the affected connections; warm seeding can slow
+	// convergence at worst, never change what a successful result means.
+	Warm []*Tree
 }
 
 func (o *Options) fill() {
@@ -270,6 +286,9 @@ func Route(g *arch.Graph, nets []Net, opt Options) (*Result, error) {
 	opt.fill()
 	if err := validateNets(nets); err != nil {
 		return nil, err
+	}
+	if opt.Warm != nil && len(opt.Warm) != len(nets) {
+		return nil, fmt.Errorf("route: Warm has %d entries for %d nets", len(opt.Warm), len(nets))
 	}
 	r := newRouter(g, nets, opt)
 	return r.run()

@@ -55,6 +55,14 @@ type CompileRequest struct {
 	// anneals and keep the best. Unlike the worker knobs it changes
 	// results, so it IS part of RequestKey.
 	Starts int `json:"starts,omitempty"`
+	// BaselineKey, when set, is the baseline key a prior compile returned
+	// (Result.BaselineKey): the flow then recompiles as an ECO delta —
+	// reusing the baseline's region, transferring its placements through
+	// a structural netlist diff and warm-starting its routers. A missing
+	// or unusable baseline falls back to a cold compile (reported in
+	// Result.Delta). Delta results follow a different trajectory than
+	// cold ones, so the key IS part of RequestKey.
+	BaselineKey string `json:"baseline_key,omitempty"`
 }
 
 // ModeInfo summarises one mapped mode.
@@ -125,6 +133,20 @@ type RoutingInfo struct {
 	Requeued int `json:"requeued,omitempty"`
 }
 
+// DeltaInfo reports how a compile used its requested baseline.
+type DeltaInfo struct {
+	// UsedBaseline: the delta path produced this result. BaselineMiss:
+	// a baseline was requested but the compile fell back to cold.
+	UsedBaseline bool `json:"used_baseline"`
+	BaselineMiss bool `json:"baseline_miss,omitempty"`
+	// ReusedModes counts MDR placements inherited verbatim,
+	// PlaceTransfers annealer runs seeded by baseline transfer, and
+	// WarmRouteNets nets seeded from baseline routing trees.
+	ReusedModes    int `json:"reused_modes,omitempty"`
+	PlaceTransfers int `json:"place_transfers,omitempty"`
+	WarmRouteNets  int `json:"warm_route_nets,omitempty"`
+}
+
 // Result is the compile response. Error is set (and every other field
 // possibly partial) when the flow fails.
 type Result struct {
@@ -141,6 +163,13 @@ type Result struct {
 	Routing *RoutingInfo `json:"routing,omitempty"`
 
 	SwitchCost *SwitchInfo `json:"switch_cost,omitempty"`
+
+	// BaselineKey is the key under which this compile's own baseline
+	// artifact was stored (persistent caches only) — pass it back as
+	// CompileRequest.BaselineKey to recompile an edit as a delta.
+	BaselineKey string `json:"baseline_key,omitempty"`
+	// Delta is present when the request asked for a delta compile.
+	Delta *DeltaInfo `json:"delta,omitempty"`
 }
 
 // objective resolves the requested combined-placement objective.
@@ -165,6 +194,7 @@ func (req *CompileRequest) config(cache *flow.Cache) flow.Config {
 		RouteWorkers:       req.RouteWorkers,
 		PlaceWorkers:       req.PlaceWorkers,
 		PlaceStarts:        req.Starts,
+		Baseline:           req.BaselineKey,
 		Cache:              cache,
 	}
 }
@@ -215,6 +245,13 @@ func RequestKey(nls []*netlist.Netlist, req *CompileRequest) codec.Hash {
 		starts = 1 // normalised: 0 and 1 starts are the same computation
 	}
 	w.Int(starts)
+	// The baseline key changes the compile trajectory, so it joins the
+	// identity — appended only when present, so every baseline-free
+	// request keeps its pre-delta key (the encoding is prefix-free, so
+	// the conditional field cannot collide with the fixed ones).
+	if req.BaselineKey != "" {
+		w.String(req.BaselineKey)
+	}
 	return w.Sum()
 }
 
@@ -227,7 +264,11 @@ func RequestKey(nls []*netlist.Netlist, req *CompileRequest) codec.Hash {
 //
 // v3: the batched parallel-move annealing kernel (placement trajectories
 // changed) and the multi-start count in the request identity.
-const resultVersion = 3
+//
+// v4: ECO delta compilation — the baseline key joined the request
+// identity, results carry BaselineKey/Delta, and every persistent
+// compile stores a baseline artifact alongside its result.
+const resultVersion = 4
 
 // resultKey derives the store key of a whole compile result from the
 // request's content identity.
@@ -290,6 +331,13 @@ func CompileNetlists(nls []*netlist.Netlist, req *CompileRequest, cache *flow.Ca
 	if err != nil {
 		return res, nil, fmt.Errorf("mode set does not route: %w", err)
 	}
+	if d := cmp.Delta; d != nil {
+		res.Delta = &DeltaInfo{
+			UsedBaseline: d.UsedBaseline, BaselineMiss: d.BaselineMiss,
+			ReusedModes: d.ReusedModes, PlaceTransfers: d.PlaceTransfers,
+			WarmRouteNets: d.WarmRouteNets,
+		}
+	}
 	region, mdr := cmp.Region, cmp.MDR
 	dcs := cmp.WireLen
 	if obj == merge.EdgeMatch {
@@ -335,8 +383,20 @@ func CompileNetlists(nls []*netlist.Netlist, req *CompileRequest, cache *flow.Ca
 	_, _, sw.DCSWorst = sw.DCS.Worst()
 	res.SwitchCost = sw
 	if persistent {
-		if data, jerr := json.Marshal(res); jerr == nil {
-			cache.PutArtifact(key, data)
+		// Store the baseline artifact of THIS compile next to the result,
+		// keyed by the request identity, and hand the key back — the next
+		// edit of these modes passes it as BaselineKey to compile as a
+		// delta against today's run.
+		bkey := flow.BaselineArtifactKey(RequestKey(nls, req))
+		cache.PutArtifact(bkey, flow.EncodeBaseline(flow.BuildBaseline(cmp, mapped)))
+		res.BaselineKey = bkey.Hex()
+		// A baseline-miss fallback is transient state (the artifact may
+		// exist by the next request); persisting it would pin the miss
+		// forever. Cache only results whose delta disposition is stable.
+		if res.Delta == nil || !res.Delta.BaselineMiss {
+			if data, jerr := json.Marshal(res); jerr == nil {
+				cache.PutArtifact(key, data)
+			}
 		}
 	}
 	return res, cmp, nil

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/flow"
 	"repro/internal/netlist"
 	"repro/internal/store"
@@ -298,5 +299,95 @@ func TestResultJSONSchema(t *testing.T) {
 	}
 	if !reflect.DeepEqual(&back, res) {
 		t.Fatal("JSON round trip changed the result")
+	}
+}
+
+// TestCompileDeltaBaseline is the service-level ECO loop: a persistent
+// compile hands back a baseline key, an edited resubmission with that key
+// compiles as a delta, and a bogus key degrades to a cold compile with
+// the miss reported — never a failure.
+func TestCompileDeltaBaseline(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := flow.NewCacheWithStore(st)
+	req := testRequest(t)
+	res, _, err := Compile(req, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineKey == "" {
+		t.Fatal("persistent compile returned no baseline key")
+	}
+	if res.Delta != nil {
+		t.Fatalf("cold compile reported delta info: %+v", res.Delta)
+	}
+
+	// Edit one mode (one extra gate) and recompile against the baseline.
+	edited := *req
+	edited.Modes = append([]Mode(nil), req.Modes...)
+	edited.Modes[1].BLIF = blifMode(t, 2, 31)
+	edited.BaselineKey = res.BaselineKey
+	res2, _, err := Compile(&edited, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Delta == nil || !res2.Delta.UsedBaseline {
+		t.Fatalf("edited resubmission did not use the baseline: %+v", res2.Delta)
+	}
+	if res2.Delta.WarmRouteNets == 0 {
+		t.Fatal("delta compile warm-routed no nets")
+	}
+	if res2.BaselineKey == "" || res2.BaselineKey == res.BaselineKey {
+		t.Fatal("delta compile must store its own baseline under a new key")
+	}
+	// The baseline key is part of the request identity.
+	nls, err := ParseModes(&edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := edited
+	plain.BaselineKey = ""
+	if RequestKey(nls, &edited) == RequestKey(nls, &plain) {
+		t.Fatal("baseline key did not alter the request key")
+	}
+
+	// A bogus baseline falls back to cold, reported but successful.
+	bogus := *req
+	bogus.BaselineKey = "00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff"
+	res3, _, err := Compile(&bogus, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Delta == nil || !res3.Delta.BaselineMiss {
+		t.Fatalf("bogus baseline not reported as a miss: %+v", res3.Delta)
+	}
+	if cache.Stats().BaselineMisses == 0 {
+		t.Fatal("baseline miss not counted")
+	}
+
+	// A miss is transient, so its fallback result must not be pinned in
+	// the persistent result cache: once an artifact appears under the
+	// requested key, the very same request compiles as a delta.
+	bkey, err := codec.ParseHash(res.BaselineKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, ok := cache.GetArtifact(bkey)
+	if !ok {
+		t.Fatal("stored baseline artifact not retrievable")
+	}
+	lateKey, err := codec.ParseHash(bogus.BaselineKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.PutArtifact(lateKey, art)
+	res4, _, err := Compile(&bogus, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.Delta == nil || !res4.Delta.UsedBaseline {
+		t.Fatalf("late-arriving baseline not picked up on retry: %+v", res4.Delta)
 	}
 }

@@ -19,15 +19,20 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 )
 
-// Result is one benchmark line.
+// Result is one benchmark line, or the median of several lines of the
+// same name (go test -count=N repeats each benchmark N times).
 type Result struct {
-	Name    string             `json:"name"`
-	Runs    int                `json:"runs"`
+	Name string `json:"name"`
+	Runs int    `json:"runs"`
+	// Samples is the number of repeated lines folded into this entry; 1
+	// (omitted) for a single-run benchmark, N under -count=N.
+	Samples int                `json:"samples,omitempty"`
 	Metrics map[string]float64 `json:"metrics"`
 }
 
@@ -95,12 +100,63 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	rep.Results = mergeMedians(rep.Results)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// mergeMedians collapses repeated benchmark lines of the same name — what
+// `go test -count=N` emits — into one entry per name holding the
+// per-metric median, so archived speedup-x figures reflect the typical
+// run, not single-run noise. Order of first appearance is preserved;
+// single-sample entries pass through unchanged.
+func mergeMedians(results []Result) []Result {
+	byName := map[string][]Result{}
+	var order []string
+	for _, r := range results {
+		if _, seen := byName[r.Name]; !seen {
+			order = append(order, r.Name)
+		}
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		group := byName[name]
+		if len(group) == 1 {
+			out = append(out, group[0])
+			continue
+		}
+		m := Result{Name: name, Samples: len(group), Metrics: map[string]float64{}}
+		var runs []float64
+		values := map[string][]float64{}
+		for _, r := range group {
+			runs = append(runs, float64(r.Runs))
+			for unit, v := range r.Metrics {
+				values[unit] = append(values[unit], v)
+			}
+		}
+		m.Runs = int(median(runs))
+		for unit, vs := range values {
+			m.Metrics[unit] = median(vs)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// median returns the middle value (the mean of the two middles for an
+// even count).
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
 }
 
 // parseBenchLine parses "BenchmarkName-8 10 123 ns/op 4.5 unit ..." into a

@@ -18,8 +18,8 @@
 //
 // With -cachedir the sweep runs against a persistent content-addressed
 // artifact store: a warm re-run renders the byte-identical report while
-// skipping every annealing and routing step, and the end-of-run cache
-// summary on stderr shows exactly what was reused.
+// skipping every graph build, annealing and routing step, and the
+// end-of-run cache summary on stderr shows exactly what was reused.
 package main
 
 import (
@@ -47,7 +47,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	full := flag.Bool("full", false, "paper-scale run (all 30 groups, effort 0.5)")
 	verbose := flag.Bool("v", false, "print per-group details")
-	cachedir := flag.String("cachedir", "", "persistent artifact-store directory: placements and whole group results survive the process, so a re-run of the same sweep skips all annealing and routing")
+	cachedir := flag.String("cachedir", "", "persistent artifact-store directory: routing-resource graphs, placements and whole group results survive the process, so a re-run of the same sweep skips all graph building, annealing and routing")
 	cachemb := flag.Int64("cachemb", 0, "artifact-store size cap in MiB (0: uncapped)")
 	flag.Parse()
 

@@ -38,7 +38,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8433", "listen address")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "maximum concurrent compile executions")
-	cachedir := flag.String("cachedir", "", "persistent artifact-store directory (empty: in-memory cache only)")
+	cachedir := flag.String("cachedir", "", "persistent artifact-store directory for graphs, placements and compile results (empty: in-memory cache only)")
 	cachemb := flag.Int64("cachemb", 0, "artifact-store size cap in MiB (0: uncapped)")
 	flag.Parse()
 

@@ -57,6 +57,19 @@ type Graph struct {
 	Arch  Arch
 	Nodes []Node
 
+	// Xs and Ys mirror the node coordinates as flat SoA arrays (parallel
+	// to Nodes). The router's A* lower bound reads millions of coordinate
+	// pairs per route; loading two int16 arrays instead of full Node
+	// structs keeps that inner loop on dense cache lines. Derived from
+	// Nodes — never mutate.
+	Xs, Ys []int16
+
+	// SinkFlags marks SINK nodes, parallel to Nodes: the router's neighbor
+	// loop prunes non-target sinks on every edge expansion, and the flat
+	// byte array keeps that test off the Node structs too. Derived from
+	// Nodes — never mutate.
+	SinkFlags []bool
+
 	edgeStart []int32 // CSR offsets into edgeTo/edgeBit, len = len(Nodes)+1
 	edgeTo    []int32
 	edgeBit   []int32 // configuration bit of each directed edge, -1 if hardwired
@@ -67,6 +80,19 @@ type Graph struct {
 	ioBase  int
 	chanXBase,
 	chanYBase int
+}
+
+// fillCoordSoA derives the flat coordinate and sink-flag arrays from
+// Nodes.
+func (g *Graph) fillCoordSoA() {
+	g.Xs = make([]int16, len(g.Nodes))
+	g.Ys = make([]int16, len(g.Nodes))
+	g.SinkFlags = make([]bool, len(g.Nodes))
+	for i := range g.Nodes {
+		g.Xs[i] = g.Nodes[i].X
+		g.Ys[i] = g.Nodes[i].Y
+		g.SinkFlags[i] = g.Nodes[i].Type == NodeSink
+	}
 }
 
 // Per-CLB node layout: SOURCE, OPIN, SINK, IPIN*K.
@@ -144,20 +170,33 @@ func (a Arch) NewIOIndexer() IOIndexer {
 	return m
 }
 
+// setBases computes the node-index bases of each resource class. They are
+// a pure function of the architecture, which is what lets a decoded graph
+// recover them without serialising.
+func (g *Graph) setBases() {
+	a := g.Arch
+	nCLB := a.NumCLBs() * (3 + a.K)
+	nIO := a.NumIOSites() * 4
+	nChanX := a.Width * (a.Height + 1) * a.W
+	g.clbBase = 0
+	g.ioBase = nCLB
+	g.chanXBase = nCLB + nIO
+	g.chanYBase = nCLB + nIO + nChanX
+}
+
+// numExpectedNodes returns the node count implied by the architecture.
+func (a Arch) numExpectedNodes() int {
+	return a.NumCLBs()*(3+a.K) + a.NumIOSites()*4 +
+		a.Width*(a.Height+1)*a.W + (a.Width+1)*a.Height*a.W
+}
+
 // BuildGraph constructs the routing-resource graph of the architecture.
 func BuildGraph(a Arch) *Graph {
 	g := &Graph{Arch: a}
 
 	// Node allocation.
-	nCLB := a.NumCLBs() * (3 + a.K)
-	nIO := a.NumIOSites() * 4
-	nChanX := a.Width * (a.Height + 1) * a.W
-	nChanY := (a.Width + 1) * a.Height * a.W
-	g.clbBase = 0
-	g.ioBase = nCLB
-	g.chanXBase = nCLB + nIO
-	g.chanYBase = nCLB + nIO + nChanX
-	g.Nodes = make([]Node, nCLB+nIO+nChanX+nChanY)
+	g.setBases()
+	g.Nodes = make([]Node, a.numExpectedNodes())
 
 	for y := 1; y <= a.Height; y++ {
 		for x := 1; x <= a.Width; x++ {
@@ -349,7 +388,54 @@ func BuildGraph(a Arch) *Graph {
 		g.edgeBit[pos] = e.bit
 		cursor[e.from]++
 	}
+	g.fillCoordSoA()
 	return g
+}
+
+// RawCSR exposes the flat adjacency arrays (edgeStart offsets, edge
+// targets, per-edge configuration bits) for serialisation. The slices
+// alias the graph's own storage — read-only, like everything else here.
+func (g *Graph) RawCSR() (edgeStart, edgeTo, edgeBit []int32) {
+	return g.edgeStart, g.edgeTo, g.edgeBit
+}
+
+// NewGraphFromRaw reassembles a Graph from its architecture, node list and
+// CSR adjacency arrays — the decoding half of the graph's binary artifact
+// form. The derived state (resource-class bases, coordinate SoA) is
+// recomputed, and the CSR structure is validated so a corrupt encoding
+// can never yield a graph that panics mid-route. The slices are adopted,
+// not copied.
+func NewGraphFromRaw(a Arch, nodes []Node, edgeStart, edgeTo, edgeBit []int32, numRoutingBits int) (*Graph, error) {
+	if want := a.numExpectedNodes(); len(nodes) != want {
+		return nil, fmt.Errorf("arch: %d nodes for a %dx%d W=%d graph, want %d", len(nodes), a.Width, a.Height, a.W, want)
+	}
+	if len(edgeStart) != len(nodes)+1 {
+		return nil, fmt.Errorf("arch: edgeStart has %d offsets for %d nodes", len(edgeStart), len(nodes))
+	}
+	if len(edgeTo) != len(edgeBit) {
+		return nil, fmt.Errorf("arch: %d edge targets but %d edge bits", len(edgeTo), len(edgeBit))
+	}
+	if edgeStart[0] != 0 || int(edgeStart[len(edgeStart)-1]) != len(edgeTo) {
+		return nil, fmt.Errorf("arch: CSR offsets span [%d,%d] over %d edges", edgeStart[0], edgeStart[len(edgeStart)-1], len(edgeTo))
+	}
+	for i := 1; i < len(edgeStart); i++ {
+		if edgeStart[i] < edgeStart[i-1] {
+			return nil, fmt.Errorf("arch: CSR offsets not monotone at node %d", i-1)
+		}
+	}
+	for _, to := range edgeTo {
+		if to < 0 || int(to) >= len(nodes) {
+			return nil, fmt.Errorf("arch: edge target %d out of range", to)
+		}
+	}
+	g := &Graph{
+		Arch: a, Nodes: nodes,
+		edgeStart: edgeStart, edgeTo: edgeTo, edgeBit: edgeBit,
+		NumRoutingBits: numRoutingBits,
+	}
+	g.setBases()
+	g.fillCoordSoA()
+	return g, nil
 }
 
 // TotalConfigBits returns the full configuration size of the region: all
@@ -359,11 +445,13 @@ func (g *Graph) TotalConfigBits() int {
 	return g.NumRoutingBits + g.Arch.TotalLUTBits()
 }
 
-// Checksum returns an FNV-1a hash over the graph's nodes, adjacency and
-// configuration-bit assignment. BuildGraph is deterministic, so two graphs
-// of the same architecture have equal checksums; comparing a shared graph's
-// checksum against a freshly built one is a cheap immutability check when
-// one graph serves many concurrent routers.
+// Checksum returns a word-folded FNV-1a-style hash over the graph's
+// nodes, adjacency and configuration-bit assignment (one xor-multiply per
+// element, not per byte — this runs on every graph-artifact decode).
+// BuildGraph is deterministic, so two graphs of the same architecture have
+// equal checksums; comparing a shared graph's checksum against a freshly
+// built one is a cheap immutability check when one graph serves many
+// concurrent routers.
 func (g *Graph) Checksum() uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -371,11 +459,8 @@ func (g *Graph) Checksum() uint64 {
 	)
 	h := uint64(offset64)
 	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime64
-			v >>= 8
-		}
+		h ^= v
+		h *= prime64
 	}
 	for _, n := range g.Nodes {
 		mix(uint64(n.Type)<<48 | uint64(uint16(n.X))<<32 | uint64(uint16(n.Y))<<16 | uint64(uint16(n.Track)))

@@ -1,0 +1,114 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// KindGraph is the artifact kind of a serialised routing-resource graph.
+// GraphVersion covers the byte layout and BuildGraph's semantics: a change
+// to the graph construction (node layout, switch pattern, bit assignment)
+// must bump it, so stale prebuilt graphs become unreachable instead of
+// silently routing against an outdated fabric.
+const (
+	KindGraph    = "graph"
+	GraphVersion = 1
+)
+
+// EncodeGraph renders the canonical encoding of a routing-resource graph:
+// the architecture parameters, the node list, the CSR adjacency arrays
+// verbatim, and the graph's checksum as a trailer. The derived state
+// (resource-class bases, coordinate SoA) is a pure function of the rest
+// and is recomputed on decode, never serialised.
+func EncodeGraph(g *arch.Graph) []byte {
+	w := NewWriter()
+	w.Header(KindGraph, GraphVersion)
+	a := g.Arch
+	w.Int(a.Width)
+	w.Int(a.Height)
+	w.Int(a.K)
+	w.Int(a.W)
+	w.Int(a.IOCap)
+	w.Int(a.FcIn)
+	w.Int(a.FcOut)
+	// Nodes pack into two fixed-width words each ((type, track) and
+	// (x, y)); the CSR arrays go in verbatim. Fixed-width costs bytes over
+	// varints but decodes at memory speed — the whole point of the
+	// artifact is that loading beats rebuilding.
+	packed := make([]int32, 2*len(g.Nodes))
+	for i, n := range g.Nodes {
+		packed[2*i] = int32(uint32(n.Type)<<16 | uint32(uint16(n.Track)))
+		packed[2*i+1] = int32(uint32(uint16(n.X))<<16 | uint32(uint16(n.Y)))
+	}
+	w.Int32s(packed)
+	edgeStart, edgeTo, edgeBit := g.RawCSR()
+	w.Int32s(edgeStart)
+	w.Int32s(edgeTo)
+	w.Int32s(edgeBit)
+	w.Int(g.NumRoutingBits)
+	w.Uvarint(g.Checksum())
+	return w.Bytes()
+}
+
+// DecodeGraph is the inverse of EncodeGraph. The CSR structure is
+// validated by arch.NewGraphFromRaw, and the rebuilt graph's checksum is
+// compared against the encoded trailer — a payload that decodes cleanly
+// but describes a different graph (bit flip the varints survive, a
+// truncation landing on a valid boundary) is rejected rather than routed
+// against.
+func DecodeGraph(data []byte) (*arch.Graph, error) {
+	r := NewReader(data)
+	r.Header(KindGraph, GraphVersion)
+	a := arch.Arch{
+		Width:  r.Int(),
+		Height: r.Int(),
+		K:      r.Int(),
+		W:      r.Int(),
+		IOCap:  r.Int(),
+		FcIn:   r.Int(),
+		FcOut:  r.Int(),
+	}
+	packed := r.Int32s()
+	if len(packed)%2 != 0 {
+		return nil, fmt.Errorf("codec: packed node array has odd length %d", len(packed))
+	}
+	nodes := make([]arch.Node, len(packed)/2)
+	for i := range nodes {
+		tt, xy := uint32(packed[2*i]), uint32(packed[2*i+1])
+		nodes[i] = arch.Node{
+			Type:  arch.NodeType(tt >> 16),
+			Track: int16(uint16(tt)),
+			X:     int16(uint16(xy >> 16)),
+			Y:     int16(uint16(xy)),
+		}
+	}
+	edgeStart := r.Int32s()
+	edgeTo := r.Int32s()
+	edgeBit := r.Int32s()
+	numRoutingBits := r.Int()
+	wantSum := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	g, err := arch.NewGraphFromRaw(a, nodes, edgeStart, edgeTo, edgeBit, numRoutingBits)
+	if err != nil {
+		return nil, fmt.Errorf("codec: decoded graph invalid: %w", err)
+	}
+	if got := g.Checksum(); got != wantSum {
+		return nil, fmt.Errorf("codec: decoded graph checksum %#x, want %#x", got, wantSum)
+	}
+	return g, nil
+}
+
+// GraphKey returns the store key for the prebuilt graph of one (side,
+// channel-width) region. The key hashes the architecture identity plus the
+// format version — never the graph bytes — so a warm process can compute
+// it without building the graph first.
+func GraphKey(side, w int) Hash {
+	k := NewWriter()
+	k.Header(KindGraph, GraphVersion)
+	k.Int(side)
+	k.Int(w)
+	return k.Sum()
+}

@@ -64,6 +64,7 @@ type Cache struct {
 	store  *store.Store
 
 	graphBuilds, graphHits       atomic.Uint64
+	graphLoads, graphStoreHits   atomic.Uint64
 	placeAnneals, placeHits      atomic.Uint64
 	placeStoreHits               atomic.Uint64
 	artifactHits, artifactMisses atomic.Uint64
@@ -112,6 +113,11 @@ type Stats struct {
 	// GraphBuilds counts routing-resource graphs built; GraphHits counts
 	// requests served by an already-built graph.
 	GraphBuilds, GraphHits uint64
+	// GraphStoreHits counts graph keys for which the artifact store
+	// returned an entry; GraphLoads counts entries that decoded, validated
+	// and were used in place of a build. A warm process shows GraphBuilds
+	// == 0 with every graph served as a load.
+	GraphLoads, GraphStoreHits uint64
 	// PlaceAnneals counts actual place.Place executions — the annealing
 	// work a warm cache exists to skip. PlaceHits are memory-tier hits,
 	// PlaceStoreHits are placements decoded from the artifact store.
@@ -141,6 +147,8 @@ func (c *Cache) Stats() Stats {
 	s := Stats{
 		GraphBuilds:    c.graphBuilds.Load(),
 		GraphHits:      c.graphHits.Load(),
+		GraphLoads:     c.graphLoads.Load(),
+		GraphStoreHits: c.graphStoreHits.Load(),
 		PlaceAnneals:   c.placeAnneals.Load(),
 		PlaceHits:      c.placeHits.Load(),
 		PlaceStoreHits: c.placeStoreHits.Load(),
@@ -159,8 +167,8 @@ func (c *Cache) Stats() Stats {
 
 // String renders the snapshot as the one-line summary mmbench prints.
 func (s Stats) String() string {
-	line := fmt.Sprintf("graphs %d built / %d hits; placements %d annealed / %d mem hits / %d store hits; artifacts %d store hits / %d misses",
-		s.GraphBuilds, s.GraphHits, s.PlaceAnneals, s.PlaceHits, s.PlaceStoreHits, s.ArtifactHits, s.ArtifactMisses)
+	line := fmt.Sprintf("graphs %d built / %d hits / %d store hits / %d loaded; placements %d annealed / %d mem hits / %d store hits; artifacts %d store hits / %d misses",
+		s.GraphBuilds, s.GraphHits, s.GraphStoreHits, s.GraphLoads, s.PlaceAnneals, s.PlaceHits, s.PlaceStoreHits, s.ArtifactHits, s.ArtifactMisses)
 	if s.PlaceTransfers != 0 || s.WarmRouteNets != 0 || s.BaselineMisses != 0 {
 		line += fmt.Sprintf("; delta %d place transfers / %d warm nets / %d baseline misses",
 			s.PlaceTransfers, s.WarmRouteNets, s.BaselineMisses)
@@ -212,8 +220,7 @@ func (c *Cache) graph(side, w int) *arch.Graph {
 	built := false
 	e.once.Do(func() {
 		built = true
-		c.graphBuilds.Add(1)
-		g := arch.BuildGraph(arch.New(side, side, w))
+		g := c.loadOrBuildGraph(side, w)
 		// Publish under mu so that Graphs — which cannot use once.Do
 		// without racing to mark unbuilt entries done — can read e.g
 		// safely; callers of graph() itself are ordered by once.Do.
@@ -225,6 +232,35 @@ func (c *Cache) graph(side, w int) *arch.Graph {
 		c.graphHits.Add(1)
 	}
 	return e.g
+}
+
+// loadOrBuildGraph serves a graph miss of the in-memory tier: the
+// persistent store (when attached) is consulted for a prebuilt graph
+// first, and only a store miss — or an entry that fails to decode,
+// fails its checksum, or describes a different architecture than the
+// requested geometry implies — falls through to BuildGraph. Built graphs
+// are written back, so a corrupt or stale entry heals itself and warm
+// processes skip the build entirely (GraphBuilds == 0).
+func (c *Cache) loadOrBuildGraph(side, w int) *arch.Graph {
+	var key codec.Hash
+	if c.store != nil {
+		key = codec.GraphKey(side, w)
+		if data, err := c.store.Get(key); err == nil {
+			c.graphStoreHits.Add(1)
+			if g, derr := codec.DecodeGraph(data); derr == nil && g.Arch == arch.New(side, side, w) {
+				c.graphLoads.Add(1)
+				return g
+			}
+		}
+	}
+	c.graphBuilds.Add(1)
+	g := arch.BuildGraph(arch.New(side, side, w))
+	if c.store != nil {
+		// Best effort, like placements: a failed write only costs the
+		// next process a rebuild.
+		_ = c.store.Put(key, codec.EncodeGraph(g))
+	}
+	return g
 }
 
 // Graphs returns the graphs currently held by the cache, for tests and

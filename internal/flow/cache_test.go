@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/codec"
 	"repro/internal/lutnet"
 	"repro/internal/place"
 	"repro/internal/store"
@@ -330,5 +331,90 @@ func TestComparisonIdenticalWithCache(t *testing.T) {
 	}
 	if plain.Region.Arch != cached.Region.Arch || plain.Region.MinW != cached.Region.MinW {
 		t.Fatalf("region sizing differs with cache: %+v vs %+v", plain.Region.Arch, cached.Region.Arch)
+	}
+}
+
+// TestGraphStoreTier checks the graph artifact tier end to end: a cold
+// process builds and persists the graph; a warm process (fresh cache, same
+// store directory) serves it from the store with zero builds; a corrupt
+// entry — at the store's checksum level or at the codec's decode level —
+// degrades to a rebuild that heals the entry.
+func TestGraphStoreTier(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Cache {
+		st, err := store.Open(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewCacheWithStore(st)
+	}
+
+	cold := open()
+	g1 := cold.graph(5, 6)
+	if s := cold.Stats(); s.GraphBuilds != 1 || s.GraphLoads != 0 {
+		t.Fatalf("cold stats %+v, want 1 build / 0 loads", s)
+	}
+
+	warm := open()
+	g2 := warm.graph(5, 6)
+	if g2.Checksum() != g1.Checksum() {
+		t.Fatal("store-served graph differs from the built one")
+	}
+	if g2.NumRoutingBits != g1.NumRoutingBits {
+		t.Fatal("store-served graph has different routing-bit count")
+	}
+	if s := warm.Stats(); s.GraphBuilds != 0 || s.GraphStoreHits != 1 || s.GraphLoads != 1 {
+		t.Fatalf("warm stats %+v, want 0 builds / 1 store hit / 1 load", s)
+	}
+	// In-process re-request is a memory hit, not another store read.
+	if g3 := warm.graph(5, 6); g3 != g2 {
+		t.Fatal("second in-process request returned a different instance")
+	}
+	if s := warm.Stats(); s.GraphHits != 1 || s.GraphStoreHits != 1 {
+		t.Fatalf("stats %+v, want 1 mem hit and still 1 store hit", s)
+	}
+
+	// Store-level corruption: the entry's content no longer matches its
+	// key, so store.Get reports it corrupt and the cache rebuilds.
+	key := codec.GraphKey(5, 6)
+	raw, err := os.ReadFile(warm.Store().Path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(warm.Store().Path(key), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	healed := open()
+	if g := healed.graph(5, 6); g.Checksum() != g1.Checksum() {
+		t.Fatal("rebuild after store corruption produced a different graph")
+	}
+	if s := healed.Stats(); s.GraphBuilds != 1 || s.GraphLoads != 0 || s.Store.Corrupt != 1 {
+		t.Fatalf("healed stats %+v, want 1 build / 0 loads / 1 corrupt", s)
+	}
+	// The rebuild healed the entry on disk.
+	final := open()
+	final.graph(5, 6)
+	if s := final.Stats(); s.GraphBuilds != 0 || s.GraphLoads != 1 {
+		t.Fatalf("final stats %+v, want the healed entry served as a load", s)
+	}
+
+	// Decode-level corruption: a store entry that passes the store's own
+	// checksum (Put recomputes it) but is not a valid graph encoding must
+	// count as a store hit that fails to load, then rebuild.
+	bogusDir := t.TempDir()
+	stBogus, err := store.Open(bogusDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stBogus.Put(key, []byte("not a graph artifact")); err != nil {
+		t.Fatal(err)
+	}
+	bogus := NewCacheWithStore(stBogus)
+	if g := bogus.graph(5, 6); g.Checksum() != g1.Checksum() {
+		t.Fatal("rebuild after decode failure produced a different graph")
+	}
+	if s := bogus.Stats(); s.GraphBuilds != 1 || s.GraphStoreHits != 1 || s.GraphLoads != 0 {
+		t.Fatalf("bogus stats %+v, want 1 build / 1 store hit / 0 loads", s)
 	}
 }

@@ -78,19 +78,46 @@ type job struct {
 // router carries the PathFinder state. Occupancy is per mode: a node is
 // overused only if some single mode oversubscribes it, so nets of disjoint
 // mode masks share resources freely.
+//
+// The congestion state is node-major: occ[node*nModes+m] and
+// hist[node*nModes+m] keep one node's per-mode occupancy and history on
+// the same cache line, because every nodeCost evaluation in the A* inner
+// loop scans all modes of one node — the mode-major [mode][node] layout
+// touched nModes scattered lines per call. The m = 0..nModes-1 summation
+// order inside each node is unchanged, so every cost comes out
+// bit-identical to the old layout (TestRoutedResultGoldenHashes).
 type router struct {
-	g    *arch.Graph
-	opt  Options
-	cap  []int16
-	occ  [][]int16   // [mode][node]
-	hist [][]float64 // [mode][node]: congestion history is per mode, so
-	// contention in one mode does not repel nets of other modes from
-	// resources they could legally share
+	g      *arch.Graph
+	opt    Options
+	nModes int
+	cap    []int16
+	occ    []int16   // node-major: occ[node*nModes+m]
+	hist   []float64 // node-major: history is per mode, so contention in
+	// one mode does not repel nets of other modes from resources they
+	// could legally share
+	base    []float64 // precomputed baseCost per node
 	presFac float64
 	allMask uint64
 	nets    []netRT // canonical order
 
 	searchers []*searcher
+
+	// Persistent parallel-batch pool: opt.Workers-1 goroutines started at
+	// the first parallel batch and fed one batchRun per routeBatch call
+	// through dedicated channels (the caller is worker 0). Iterations no
+	// longer pay goroutine startup per batch — the pool lives for the
+	// whole negotiation loop.
+	poolWake []chan *batchRun
+	poolRun  batchRun
+
+	// Worklist scratch reused across iterations: jobs is the flat per-net
+	// job list, batchEnds its batch boundaries, dirtyBuf the backing array
+	// every job's dirty slice points into (capacity fixed at the total
+	// connection count, so appends never reallocate and the subslices stay
+	// valid).
+	jobs      []job
+	batchEnds []int
+	dirtyBuf  []int32
 
 	// Union-table scratch for occupancy bookkeeping: treeMask[n] is the
 	// mode mask net-under-edit occupies at n, treeList the nodes with a
@@ -108,12 +135,12 @@ type router struct {
 }
 
 func newRouter(g *arch.Graph, nets []Net, opt Options) *router {
-	r := &router{g: g, opt: opt, cap: capacities(g)}
-	r.occ = make([][]int16, opt.ModeCount)
-	r.hist = make([][]float64, opt.ModeCount)
-	for m := range r.occ {
-		r.occ[m] = make([]int16, g.NumNodes())
-		r.hist[m] = make([]float64, g.NumNodes())
+	r := &router{g: g, opt: opt, nModes: opt.ModeCount, cap: capacities(g)}
+	r.occ = make([]int16, g.NumNodes()*r.nModes)
+	r.hist = make([]float64, g.NumNodes()*r.nModes)
+	r.base = make([]float64, g.NumNodes())
+	for i := range r.base {
+		r.base[i] = baseCost(g.Nodes[i].Type)
 	}
 	if opt.ModeCount >= 64 {
 		r.allMask = ^uint64(0)
@@ -163,11 +190,11 @@ func newRouter(g *arch.Graph, nets []Net, opt Options) *router {
 		for i := range idx {
 			idx[i] = i
 		}
-		src := g.Nodes[n.Source]
+		sx, sy := g.Xs[n.Source], g.Ys[n.Source]
 		sort.SliceStable(idx, func(i, j int) bool {
-			a, b := g.Nodes[n.Sinks[idx[i]]], g.Nodes[n.Sinks[idx[j]]]
-			da := math.Abs(float64(a.X-src.X)) + math.Abs(float64(a.Y-src.Y))
-			db := math.Abs(float64(b.X-src.X)) + math.Abs(float64(b.Y-src.Y))
+			a, b := n.Sinks[idx[i]], n.Sinks[idx[j]]
+			da := math.Abs(float64(g.Xs[a]-sx)) + math.Abs(float64(g.Ys[a]-sy))
+			db := math.Abs(float64(g.Xs[b]-sx)) + math.Abs(float64(g.Ys[b]-sy))
 			if da != db {
 				return da < db
 			}
@@ -200,6 +227,9 @@ func newRouter(g *arch.Graph, nets []Net, opt Options) *router {
 	for i := range r.searchers {
 		r.searchers[i] = newSearcher(r)
 	}
+	// Fixed-capacity dirty backing array: an iteration schedules at most
+	// every connection, so subslices handed to jobs never reallocate.
+	r.dirtyBuf = make([]int32, 0, r.stats.Connections)
 	// Park every net's source: isolated nets (no sinks) occupy their
 	// source for the whole run, and the rip/commit bookkeeping below
 	// always removes a net's full contribution before re-adding it.
@@ -285,8 +315,9 @@ func (r *router) dirtyOverusedWarm() {
 			}
 		scan:
 			for _, node := range c.path {
-				for m := 0; m < len(r.occ); m++ {
-					if c.mask>>uint(m)&1 == 1 && r.occ[m][node] > r.cap[node] {
+				occ := r.occ[int(node)*r.nModes : int(node)*r.nModes+r.nModes]
+				for m := 0; m < r.nModes; m++ {
+					if c.mask>>uint(m)&1 == 1 && occ[m] > r.cap[node] {
 						c.dirty = true
 						break scan
 					}
@@ -303,18 +334,49 @@ func (r *router) dirtyOverusedWarm() {
 // its own modes can keep re-choosing a prefix whose congestion lives in a
 // sibling branch's mode — the history term is what breaks that deadlock.
 func (r *router) nodeCost(n int32, curMask, histMask uint64) float64 {
-	b := baseCost(r.g.Nodes[n].Type)
+	b := r.base[n]
 	var worst int16
 	var h float64
-	for m := 0; m < len(r.occ); m++ {
-		if histMask>>uint(m)&1 == 1 && r.hist[m][n] > h {
-			h = r.hist[m][n]
+	// The 1- and 2-mode cases are unrolled: this is the hottest call in
+	// the A* expansion loop, and the masked maxima over non-negative
+	// occupancy/history values come out identical with or without the
+	// generic scan, so specialisation cannot change routed bytes.
+	switch r.nModes {
+	case 1:
+		if histMask&1 != 0 {
+			h = r.hist[n]
 		}
-		if curMask>>uint(m)&1 == 0 {
-			continue
+		if curMask&1 != 0 {
+			worst = r.occ[n]
 		}
-		if o := r.occ[m][n]; o > worst {
-			worst = o
+	case 2:
+		off := int(n) * 2
+		if histMask&1 != 0 {
+			h = r.hist[off]
+		}
+		if histMask&2 != 0 && r.hist[off+1] > h {
+			h = r.hist[off+1]
+		}
+		if curMask&1 != 0 {
+			worst = r.occ[off]
+		}
+		if curMask&2 != 0 && r.occ[off+1] > worst {
+			worst = r.occ[off+1]
+		}
+	default:
+		off := int(n) * r.nModes
+		occ := r.occ[off : off+r.nModes]
+		hist := r.hist[off : off+r.nModes]
+		for m := 0; m < r.nModes; m++ {
+			if histMask>>uint(m)&1 == 1 && hist[m] > h {
+				h = hist[m]
+			}
+			if curMask>>uint(m)&1 == 0 {
+				continue
+			}
+			if o := occ[m]; o > worst {
+				worst = o
+			}
 		}
 	}
 	over := float64(worst + 1 - r.cap[n])
@@ -327,9 +389,10 @@ func (r *router) nodeCost(n int32, curMask, histMask uint64) float64 {
 
 // adjustOcc adds delta to the occupancy of node n in every mode of mask.
 func (r *router) adjustOcc(n int32, mask uint64, delta int16) {
-	for m := 0; m < len(r.occ); m++ {
+	occ := r.occ[int(n)*r.nModes : int(n)*r.nModes+r.nModes]
+	for m := 0; m < r.nModes; m++ {
 		if mask>>uint(m)&1 == 1 {
-			r.occ[m][n] += delta
+			occ[m] += delta
 		}
 	}
 }
@@ -422,8 +485,9 @@ func (r *router) commitNet(canon int32, jb *job, requeue *[]connRef) {
 				continue
 			}
 			if tb := r.touchedBy[node]; tb >= 0 && tb != canon {
-				for m := 0; m < len(r.occ); m++ {
-					if add>>uint(m)&1 == 1 && r.occ[m][node]+1 > r.cap[node] {
+				occ := r.occ[int(node)*r.nModes : int(node)*r.nModes+r.nModes]
+				for m := 0; m < r.nModes; m++ {
+					if add>>uint(m)&1 == 1 && occ[m]+1 > r.cap[node] {
 						conflict = true
 						break
 					}
@@ -473,6 +537,7 @@ func (r *router) commitOne(N *netRT, ci int32, p []int32) {
 // run executes the negotiation loop.
 func (r *router) run() (*Result, error) {
 	g := r.g
+	defer r.stopPool()
 	var requeue []connRef
 	bestOverused := int(^uint(0) >> 1)
 	stall := 0
@@ -489,33 +554,38 @@ func (r *router) run() (*Result, error) {
 		}
 
 		// Collect this iteration's worklist as per-net jobs, canonical
-		// order, batched at batchConns connections.
-		var batches [][]job
-		var cur []job
+		// order, batched at batchConns connections. jobs / batchEnds /
+		// dirtyBuf are scratch reused across iterations; dirtyBuf's
+		// capacity is fixed at the total connection count, so the dirty
+		// subslices handed to jobs never move.
+		r.jobs = r.jobs[:0]
+		r.batchEnds = r.batchEnds[:0]
+		r.dirtyBuf = r.dirtyBuf[:0]
 		inBatch := 0
 		rerouted := 0
 		for ni := range r.nets {
 			N := &r.nets[ni]
-			var dirty []int32
+			start := len(r.dirtyBuf)
 			for ci := range N.conns {
 				if N.conns[ci].dirty {
-					dirty = append(dirty, int32(ci))
+					r.dirtyBuf = append(r.dirtyBuf, int32(ci))
 					N.conns[ci].dirty = false
 				}
 			}
+			dirty := r.dirtyBuf[start:len(r.dirtyBuf):len(r.dirtyBuf)]
 			if len(dirty) == 0 {
 				continue
 			}
 			rerouted += len(dirty)
-			cur = append(cur, job{net: int32(ni), dirty: dirty})
+			r.jobs = append(r.jobs, job{net: int32(ni), dirty: dirty})
 			inBatch += len(dirty)
 			if inBatch >= batchConns {
-				batches = append(batches, cur)
-				cur, inBatch = nil, 0
+				r.batchEnds = append(r.batchEnds, len(r.jobs))
+				inBatch = 0
 			}
 		}
-		if cur != nil {
-			batches = append(batches, cur)
+		if inBatch > 0 {
+			r.batchEnds = append(r.batchEnds, len(r.jobs))
 		}
 		if rerouted == 0 {
 			// Nothing to rip. Either the netlist routed trivially (no
@@ -532,8 +602,10 @@ func (r *router) run() (*Result, error) {
 		r.stats.Iterations = iter
 
 		requeue = requeue[:0]
-		for bi := range batches {
-			batch := batches[bi]
+		bStart := 0
+		for _, bEnd := range r.batchEnds {
+			batch := r.jobs[bStart:bEnd]
+			bStart = bEnd
 			for ji := range batch {
 				r.ripNet(&r.nets[batch[ji].net], batch[ji].dirty)
 			}
@@ -573,10 +645,13 @@ func (r *router) run() (*Result, error) {
 		overused := 0
 		for n := 0; n < g.NumNodes(); n++ {
 			over := false
-			for m := range r.occ {
-				if d := r.occ[m][n] - r.cap[n]; d > 0 {
+			off := n * r.nModes
+			occ := r.occ[off : off+r.nModes]
+			hist := r.hist[off : off+r.nModes]
+			for m := 0; m < r.nModes; m++ {
+				if d := occ[m] - r.cap[n]; d > 0 {
 					over = true
-					r.hist[m][n] += r.opt.AccFac * float64(d)
+					hist[m] += r.opt.AccFac * float64(d)
 					if int(d) > r.stats.PeakOveruse {
 						r.stats.PeakOveruse = int(d)
 					}
@@ -603,9 +678,10 @@ func (r *router) run() (*Result, error) {
 	detail := ""
 	for n := 0; n < g.NumNodes(); n++ {
 		var worst int16
-		for m := range r.occ {
-			if r.occ[m][n] > worst {
-				worst = r.occ[m][n]
+		occ := r.occ[n*r.nModes : n*r.nModes+r.nModes]
+		for m := 0; m < r.nModes; m++ {
+			if occ[m] > worst {
+				worst = occ[m]
 			}
 		}
 		if worst > r.cap[n] {
@@ -618,37 +694,86 @@ func (r *router) run() (*Result, error) {
 	return nil, &ErrUnroutable{Overused: overused, Iters: r.stats.Iterations, Detail: detail}
 }
 
-// routeBatch runs the batch's jobs on the worker pool. Workers pull jobs
-// from an atomic counter; each job's result is a pure function of the
-// frozen congestion state, so the pull order is irrelevant.
-func (r *router) routeBatch(batch []job) {
-	workers := r.opt.Workers
-	if workers > len(batch) {
-		workers = len(batch)
+// batchRun is the unit of work handed to the persistent pool: workers
+// pull job indices from next until the batch is drained, then signal wg.
+type batchRun struct {
+	batch []job
+	next  atomic.Int32
+	wg    sync.WaitGroup
+}
+
+// startPool lazily starts the opt.Workers-1 pool goroutines; the caller
+// of routeBatch acts as worker 0. Each worker owns searchers[w+1] and a
+// dedicated wake channel carrying one *batchRun per routeBatch call;
+// closing the channels (stopPool) shuts the pool down. The goroutines —
+// and their searcher scratch — live for the whole negotiation loop, so
+// iterations stop re-paying goroutine startup per batch.
+func (r *router) startPool() {
+	r.poolWake = make([]chan *batchRun, r.opt.Workers-1)
+	for w := range r.poolWake {
+		wake := make(chan *batchRun)
+		r.poolWake[w] = wake
+		s := r.searchers[w+1]
+		go func() {
+			for br := range wake {
+				for {
+					ji := int(br.next.Add(1)) - 1
+					if ji >= len(br.batch) {
+						break
+					}
+					s.routeJob(&br.batch[ji])
+				}
+				br.wg.Done()
+			}
+		}()
 	}
-	if workers <= 1 {
+}
+
+// stopPool shuts the persistent workers down. Safe when the pool was
+// never started.
+func (r *router) stopPool() {
+	for _, wake := range r.poolWake {
+		close(wake)
+	}
+	r.poolWake = nil
+}
+
+// routeBatch runs the batch's jobs on the persistent worker pool. Workers
+// pull jobs from an atomic counter; each job's result is a pure function
+// of the frozen congestion state, so the pull order — and the number of
+// workers woken — is irrelevant to results.
+func (r *router) routeBatch(batch []job) {
+	if r.opt.Workers <= 1 || len(batch) <= 1 {
 		s := r.searchers[0]
 		for ji := range batch {
 			s.routeJob(&batch[ji])
 		}
 		return
 	}
-	var next atomic.Int32
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(s *searcher) {
-			defer wg.Done()
-			for {
-				ji := int(next.Add(1)) - 1
-				if ji >= len(batch) {
-					return
-				}
-				s.routeJob(&batch[ji])
-			}
-		}(r.searchers[w])
+	if r.poolWake == nil {
+		r.startPool()
 	}
-	wg.Wait()
+	br := &r.poolRun
+	br.batch = batch
+	br.next.Store(0)
+	nWake := len(r.poolWake)
+	if nWake > len(batch)-1 {
+		nWake = len(batch) - 1
+	}
+	br.wg.Add(nWake)
+	for _, wake := range r.poolWake[:nWake] {
+		wake <- br
+	}
+	s := r.searchers[0] // the caller is worker 0
+	for {
+		ji := int(br.next.Add(1)) - 1
+		if ji >= len(batch) {
+			break
+		}
+		s.routeJob(&batch[ji])
+	}
+	br.wg.Wait()
+	br.batch = nil
 }
 
 // markDirty schedules the next iteration's reroute set: every connection
@@ -680,15 +805,18 @@ func (r *router) markDirty(stall int) {
 			over, histFull := false, false
 		scan:
 			for _, node := range c.path {
-				for m := 0; m < len(r.occ); m++ {
+				off := int(node) * r.nModes
+				occ := r.occ[off : off+r.nModes]
+				hist := r.hist[off : off+r.nModes]
+				for m := 0; m < r.nModes; m++ {
 					if c.mask>>uint(m)&1 == 0 {
 						continue
 					}
 					switch {
-					case r.occ[m][node] > r.cap[node]:
+					case occ[m] > r.cap[node]:
 						over = true
 						break scan
-					case r.occ[m][node] == r.cap[node] && r.hist[m][node] > 0:
+					case occ[m] == r.cap[node] && hist[m] > 0:
 						histFull = true
 					}
 				}
@@ -716,8 +844,9 @@ func (r *router) markDirty(stall int) {
 func (r *router) countOverused() int {
 	overused := 0
 	for n := 0; n < r.g.NumNodes(); n++ {
-		for m := range r.occ {
-			if r.occ[m][n] > r.cap[n] {
+		occ := r.occ[n*r.nModes : n*r.nModes+r.nModes]
+		for m := 0; m < r.nModes; m++ {
+			if occ[m] > r.cap[n] {
 				overused++
 				break
 			}
@@ -758,6 +887,10 @@ func (r *router) result() *Result {
 		}
 		r.wipeUnion()
 		trees[N.orig] = t
+	}
+	for _, s := range r.searchers {
+		r.stats.HeapPushes += s.heapPushes
+		r.stats.NodesVisited += s.nodesVisited
 	}
 	res := &Result{Trees: trees, Iterations: r.stats.Iterations, Stats: r.stats}
 	return res

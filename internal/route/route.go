@@ -90,6 +90,14 @@ type Stats struct {
 	// PeakOveruse is the worst single-mode overuse observed on any node
 	// across all iterations.
 	PeakOveruse int
+	// HeapPushes and NodesVisited count the A* inner loop's work: priority
+	// queue improvements (inserts plus decrease-keys) and node expansions
+	// across every search, summed over all workers. Each connection's
+	// search is a pure function of the congestion state it runs against,
+	// so both counts are byte-identical at any Workers value, like the
+	// routed trees themselves.
+	HeapPushes   int64
+	NodesVisited int64
 }
 
 // TotalRerouted sums the per-iteration reroute counts.

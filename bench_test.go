@@ -28,6 +28,7 @@ import (
 	"repro/internal/lutnet"
 	"repro/internal/merge"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/place"
 	"repro/internal/route"
 	"repro/internal/store"
@@ -535,8 +536,18 @@ func BenchmarkPlaceAnneal(b *testing.B) {
 	serial := place.Options{Seed: 1, Effort: 0.15}
 	parallel := place.Options{Seed: 1, Effort: 0.15, Workers: 4}
 	multistart := place.Options{Seed: 1, Effort: 0.15, Workers: 4, Starts: 4}
-	if !reflect.DeepEqual(run(parallel), run(serial)) {
+	instrumented := serial
+	instrumented.Obs = obs.NewRegistry()
+	serialStart := time.Now()
+	base := run(serial)
+	// Fallback serial reference for a filtered run; the serial
+	// sub-benchmark overwrites it with its steady-state per-op time.
+	serialPer := time.Since(serialStart)
+	if !reflect.DeepEqual(run(parallel), base) {
 		b.Fatal("parallel placement differs from serial")
+	}
+	if !reflect.DeepEqual(run(instrumented), base) {
+		b.Fatal("instrumentation changed the placement")
 	}
 	msSerial := multistart
 	msSerial.Workers = 1
@@ -550,11 +561,26 @@ func BenchmarkPlaceAnneal(b *testing.B) {
 		{"serial", serial},
 		{"parallel-j4", parallel},
 		{"multistart-4", multistart},
+		{"instrumented", instrumented},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				run(bc.opt)
+			}
+			per := b.Elapsed() / time.Duration(b.N)
+			switch bc.name {
+			case "serial":
+				if per > 0 {
+					serialPer = per
+				}
+			case "instrumented":
+				// The overhead guard: metrics recording happens once per
+				// anneal run, never in the move loop, so this ratio must
+				// stay ~1.0. CI records it as obs-overhead-x.
+				if per > 0 && serialPer > 0 {
+					b.ReportMetric(float64(per)/float64(serialPer), "obs-overhead-x")
+				}
 			}
 		})
 	}
@@ -607,6 +633,14 @@ func BenchmarkRoute(b *testing.B) {
 	if !reflect.DeepEqual(serial, parallel) {
 		b.Fatal("parallel routing differs from serial")
 	}
+	reg := obs.NewRegistry()
+	instr, err := route.Route(g, nets, route.Options{Obs: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, instr) {
+		b.Fatal("instrumentation changed the routing result")
+	}
 	fullStart := time.Now()
 	full, err := route.Route(g, nets, route.Options{FullRipUp: true})
 	if err != nil {
@@ -644,6 +678,19 @@ func BenchmarkRoute(b *testing.B) {
 		}
 		if per := b.Elapsed() / time.Duration(b.N); per > 0 {
 			b.ReportMetric(float64(serialPer)/float64(per), "speedup-x")
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := route.Route(g, nets, route.Options{Obs: reg}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// The overhead guard: stats land in histograms once per Route call,
+		// never per node expansion, so this ratio must stay ~1.0. CI records
+		// it as obs-overhead-x.
+		if per := b.Elapsed() / time.Duration(b.N); per > 0 && serialPer > 0 {
+			b.ReportMetric(float64(per)/float64(serialPer), "obs-overhead-x")
 		}
 	})
 }

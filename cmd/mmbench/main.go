@@ -25,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"sync/atomic"
@@ -49,7 +50,16 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-group details")
 	cachedir := flag.String("cachedir", "", "persistent artifact-store directory: routing-resource graphs, placements and whole group results survive the process, so a re-run of the same sweep skips all graph building, annealing and routing")
 	cachemb := flag.Int64("cachemb", 0, "artifact-store size cap in MiB (0: uncapped)")
+	logjson := flag.Bool("logjson", false, "emit the stderr progress/summary lines as structured JSON logs")
 	flag.Parse()
+
+	// All progress and summary chatter goes through this stderr logger;
+	// the report on stdout stays byte-identical either way (CI diffs it).
+	if *logjson {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	} else {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 
 	sc := experiments.Scale{
 		GroupsPerSuite: *groups, Effort: *effort, Seed: *seed,
@@ -90,7 +100,7 @@ func main() {
 	// The traffic summary lands on stderr so report output stays
 	// byte-identical whether or not anyone is watching the cache.
 	defer func() {
-		fmt.Fprintf(os.Stderr, "# cache: %s\n", sc.Cache.Stats())
+		logger.Info("cache", "stats", sc.Cache.Stats().String())
 	}()
 
 	start := time.Now()
@@ -159,13 +169,13 @@ func sweep(suites []*experiments.Suite, sc experiments.Scale, jobs int, verbose 
 	sweepStart := time.Now()
 	var started atomic.Int32
 	results, err := experiments.RunAll(suites, sc, jobs, func(msg string) {
-		fmt.Fprintf(os.Stderr, "[%d/%d] running %s...\n", started.Add(1), total, msg)
+		logger.Info("running", "n", started.Add(1), "total", total, "group", msg)
 	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "# sweep: %d groups on %d workers in %v\n",
-		total, jobs, time.Since(sweepStart).Round(time.Millisecond))
+	logger.Info("sweep done", "groups", total, "workers", jobs,
+		"elapsed", time.Since(sweepStart).Round(time.Millisecond).String())
 	// Router work summary, on stderr like the cache stats so the report
 	// itself stays byte-identical. Warm store runs decode the same numbers
 	// the cold run computed.
@@ -177,8 +187,7 @@ func sweep(suites []*experiments.Suite, sc experiments.Scale, jobs int, verbose 
 			peak = r.PeakOveruse
 		}
 	}
-	fmt.Fprintf(os.Stderr, "# route: %d PathFinder iterations, %d connection reroutes, peak overuse %d\n",
-		iters, rerouted, peak)
+	logger.Info("route summary", "iterations", iters, "reroutes", rerouted, "peak_overuse", peak)
 	if verbose {
 		for _, r := range results {
 			experiments.PrintGroup(os.Stdout, r)
@@ -246,7 +255,10 @@ func printFrames(suites []*experiments.Suite, sc experiments.Scale) {
 	experiments.PrintFrames(os.Stdout, rows)
 }
 
+// logger carries every stderr line; main replaces it before any output.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mmbench:", err)
+	logger.Error("fatal", "err", err)
 	os.Exit(1)
 }

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/flow"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -51,6 +52,7 @@ func main() {
 	cachedir := flag.String("cachedir", "", "persistent artifact-store directory for placements (local runs)")
 	baseline := flag.String("baseline", "", "baseline key of a prior compile (needs -cachedir): recompile as an ECO delta, falling back to a cold compile if the baseline is unusable")
 	remote := flag.String("remote", "", "delegate compilation to a running mmserved (e.g. http://localhost:8433)")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the flow stages to this file (local runs only; open with chrome://tracing or Perfetto)")
 	flag.Parse()
 
 	if flag.NArg() < 2 {
@@ -75,6 +77,9 @@ func main() {
 	var cmp *flow.Comparison
 	var err error
 	if *remote != "" {
+		if *traceFile != "" {
+			fmt.Fprintln(os.Stderr, "mmflow: -trace is local-only (the daemon does not ship span data); ignoring")
+		}
 		res, err = compileRemote(*remote, req)
 	} else {
 		cache := flow.NewCache()
@@ -85,7 +90,14 @@ func main() {
 			}
 			cache = flow.NewCacheWithStore(st)
 		}
-		res, cmp, err = service.Compile(req, cache)
+		var tr *obs.Trace
+		if *traceFile != "" {
+			tr = obs.NewTrace()
+		}
+		res, cmp, err = service.CompileEnv(req, service.Env{Cache: cache, Trace: tr})
+		if terr := writeTrace(*traceFile, tr); terr != nil && err == nil {
+			err = terr
+		}
 	}
 	if err != nil {
 		fail(*jsonOut, res, err)
@@ -111,6 +123,23 @@ func main() {
 			}
 		}
 	}
+}
+
+// writeTrace dumps the trace as Chrome trace-event JSON. A nil trace (or
+// empty path) is a no-op, so callers can invoke it unconditionally.
+func writeTrace(path string, tr *obs.Trace) error {
+	if path == "" || tr == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // compileRemote submits the request to a running mmserved and decodes the
@@ -178,6 +207,16 @@ func render(res *service.Result) {
 	}
 	if res.BaselineKey != "" {
 		fmt.Printf("baseline key: %s\n", res.BaselineKey)
+	}
+	if len(res.Timings) > 0 {
+		fmt.Printf("stages:")
+		for _, st := range res.Timings {
+			fmt.Printf(" %s %.0fms", st.Stage, st.Millis)
+			if st.Count > 1 {
+				fmt.Printf(" (x%d)", st.Count)
+			}
+		}
+		fmt.Println()
 	}
 	if sw := res.SwitchCost; sw != nil {
 		if sw.MDRDiff == nil {

@@ -9,20 +9,23 @@
 //	POST /compile — service.CompileRequest JSON in, service.Result out
 //	GET  /healthz — liveness probe
 //	GET  /stats   — request counters + cache statistics
+//	GET  /metrics — Prometheus text exposition of the same counters plus
+//	                request-latency histograms and route/anneal work
+//	GET  /debug/pprof/* — profiling (only with -pprof)
 //
 // `mmflow -remote http://host:port ...` submits its BLIF modes here
 // instead of compiling locally.
 //
 // Usage:
 //
-//	mmserved [-addr :8433] [-j N] [-cachedir DIR] [-cachemb MB]
+//	mmserved [-addr :8433] [-j N] [-cachedir DIR] [-cachemb MB] [-pprof] [-logjson]
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -31,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/flow"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -40,19 +44,28 @@ func main() {
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "maximum concurrent compile executions")
 	cachedir := flag.String("cachedir", "", "persistent artifact-store directory for graphs, placements and compile results (empty: in-memory cache only)")
 	cachemb := flag.Int64("cachemb", 0, "artifact-store size cap in MiB (0: uncapped)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof profiling under /debug/pprof/")
+	logjson := flag.Bool("logjson", false, "emit structured JSON logs on stderr instead of human-readable lines")
 	flag.Parse()
+
+	log := newLogger(*logjson)
 
 	cache := flow.NewCache()
 	if *cachedir != "" {
 		st, err := store.Open(*cachedir, *cachemb<<20)
 		if err != nil {
-			fatal(err)
+			fatal(log, err)
 		}
 		cache = flow.NewCacheWithStore(st)
-		fmt.Fprintf(os.Stderr, "mmserved: artifact store at %s\n", st.Root())
+		log.Info("artifact store opened", "dir", st.Root(), "cap_mb", *cachemb)
 	}
 
 	srv := service.NewServer(cache, *jobs)
+	srv.Instrument(obs.NewRegistry())
+	if *pprofOn {
+		srv.EnablePprof()
+		log.Info("pprof enabled", "path", "/debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -66,27 +79,36 @@ func main() {
 	defer stop()
 	done := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "mmserved: listening on %s (%d workers)\n", *addr, *jobs)
+		log.Info("listening", "addr", *addr, "workers", *jobs)
 		done <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-done:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fatal(err)
+			fatal(log, err)
 		}
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "mmserved: shutting down...")
+		log.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			fatal(err)
+			fatal(log, err)
 		}
-		fmt.Fprintf(os.Stderr, "mmserved: done; final stats: %s\n", cache.Stats())
+		log.Info("done", "final_stats", cache.Stats().String())
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mmserved:", err)
+// newLogger builds the daemon's stderr logger: human-readable text by
+// default, one-JSON-object-per-line under -logjson (for log shippers).
+func newLogger(asJSON bool) *slog.Logger {
+	if asJSON {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
+func fatal(log *slog.Logger, err error) {
+	log.Error("fatal", "err", err)
 	os.Exit(1)
 }

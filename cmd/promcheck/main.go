@@ -1,0 +1,55 @@
+// Command promcheck validates Prometheus text exposition read on stdin:
+// it checks the format invariants (TYPE before samples, no duplicate
+// series, cumulative monotone histogram buckets with a +Inf bound that
+// matches _count) and, with -require, that specific metric families are
+// present. CI pipes `curl /metrics` through it so a regression in the
+// exposition or a silently dropped series fails the build.
+//
+// Usage:
+//
+//	curl -s localhost:8433/metrics | promcheck -require mm_requests_total,mm_compile_seconds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric family names that must be present")
+	flag.Parse()
+
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	stats, err := obs.ValidateText(data)
+	if err != nil {
+		fatal(fmt.Errorf("invalid exposition: %w", err))
+	}
+	missing := 0
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !stats.Has(name) {
+			fmt.Fprintf(os.Stderr, "promcheck: required family %q missing\n", name)
+			missing++
+		}
+	}
+	if missing > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: ok (%d families, %d series)\n", len(stats.Families), stats.Series)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "promcheck:", err)
+	os.Exit(1)
+}

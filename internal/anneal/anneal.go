@@ -38,6 +38,8 @@ package anneal
 import (
 	"math"
 	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // Mover is the problem-specific side of the annealing loop.
@@ -99,6 +101,29 @@ type Config struct {
 	// property tests audit the mover's books after every commit/requeue
 	// cycle).
 	AfterBatch func()
+	// Obs, when non-nil, receives the run's RunStats as mm_anneal_*
+	// metrics when Run returns. Observed only at the run boundary — the
+	// move loop never touches it — so instrumentation can neither slow
+	// the hot path nor perturb results. Never hashed into artifact keys.
+	Obs *obs.Registry
+}
+
+// observe records one finished run's RunStats into the registry.
+func observe(reg *obs.Registry, s *RunStats) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("mm_anneal_runs_total", "Annealing runs.").Inc()
+	reg.Histogram("mm_anneal_moves",
+		"Proposed moves per annealing run.", obs.WorkBuckets).Observe(float64(s.Moves))
+	reg.Histogram("mm_anneal_accepted",
+		"Accepted moves per annealing run.", obs.WorkBuckets).Observe(float64(s.Accepted))
+	reg.Histogram("mm_anneal_requeued",
+		"Batch moves requeued after footprint conflicts, per annealing run.",
+		obs.WorkBuckets).Observe(float64(s.Requeued))
+	reg.Histogram("mm_anneal_batches",
+		"Parallel-protocol batches per annealing run.", obs.WorkBuckets).
+		Observe(float64(s.Batches))
 }
 
 // Run anneals the Mover's state in place: probe initial temperature,
@@ -156,7 +181,9 @@ func Run(mv Mover, cfg Config, rng *rand.Rand) RunStats {
 	}
 
 	if bm, ok := mv.(BatchMover); ok {
-		return runBatched(bm, cfg, sch, rng, span)
+		stats := runBatched(bm, cfg, sch, rng, span)
+		observe(cfg.Obs, &stats)
+		return stats
 	}
 
 	var stats RunStats
@@ -179,6 +206,7 @@ func Run(mv Mover, cfg Config, rng *rand.Rand) RunStats {
 			break
 		}
 	}
+	observe(cfg.Obs, &stats)
 	return stats
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/codec"
 	"repro/internal/lutnet"
+	"repro/internal/obs"
 	"repro/internal/place"
 	"repro/internal/store"
 )
@@ -321,9 +322,11 @@ type placeEntry struct {
 // count, computing it on first request per process and consulting the
 // artifact store (when attached) before annealing. workers parallelises
 // the annealing without affecting the result (and so stays out of the
-// key). The returned placement is shared: callers must treat it as
+// key); reg likewise only observes the anneal that actually runs — a
+// memory or store hit records nothing, which is exactly the work-done
+// truth. The returned placement is shared: callers must treat it as
 // immutable.
-func (c *Cache) placement(ct *lutnet.Circuit, width, height int, seed int64, effort float64, starts, workers int) (*place.Placement, place.CircuitCells, error) {
+func (c *Cache) placement(ct *lutnet.Circuit, width, height int, seed int64, effort float64, starts, workers int, reg *obs.Registry) (*place.Placement, place.CircuitCells, error) {
 	if starts < 1 {
 		starts = 1 // normalised so 0 and 1 share the (identical) artifact
 	}
@@ -358,7 +361,7 @@ func (c *Cache) placement(ct *lutnet.Circuit, width, height int, seed int64, eff
 		c.placeAnneals.Add(1)
 		a := arch.New(width, height, placementChannelWidth)
 		prob, cc := place.FromCircuit(ct)
-		pl, err := place.Place(prob, a, place.Options{Seed: seed, Effort: effort, Starts: starts, Workers: workers})
+		pl, err := place.Place(prob, a, place.Options{Seed: seed, Effort: effort, Starts: starts, Workers: workers, Obs: reg})
 		e.pl, e.cc, e.err = pl, cc, err
 		if c.store != nil && err == nil {
 			// Best effort: a failed write only costs the next process a

@@ -201,6 +201,7 @@ func runMDRDelta(modes []*lutnet.Circuit, region *Region, cfg Config, base *Base
 		bm := &base.Modes[mi]
 		cc := place.CellsOf(c)
 		numCells := cc.NumBlk + cc.NumPI + cc.NumPO
+		sp := cfg.Trace.Start("place", "mode", strconv.Itoa(mi), "path", "delta")
 		var pl *place.Placement
 		if diffs[mi] == nil {
 			if len(bm.Sites) != numCells {
@@ -218,6 +219,7 @@ func runMDRDelta(modes []*lutnet.Circuit, region *Region, cfg Config, base *Base
 			pl, err = place.Place(prob, region.Arch, place.Options{
 				Seed: cfg.Seed + int64(mi), Effort: cfg.PlaceEffort,
 				Workers: cfg.PlaceWorkers, Init: init, WarmStart: true,
+				Obs: cfg.Obs,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("flow: delta MDR mode %d: %w", mi, err)
@@ -227,9 +229,12 @@ func runMDRDelta(modes []*lutnet.Circuit, region *Region, cfg Config, base *Base
 				cfg.Cache.placeTransfers.Add(1)
 			}
 		}
+		sp.End()
+		sp = cfg.Trace.Start("route", "mode", strconv.Itoa(mi), "path", "delta")
 		impl, err := implementMode(region, c, cc, pl, cfg.RouteOpts, func(nets []route.Net) []*route.Tree {
 			return warmTreesFor(nets, bm, diffs[mi])
 		})
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("flow: delta MDR mode %d: %w", mi, err)
 		}
@@ -272,10 +277,13 @@ func runDCSDelta(name string, modes []*lutnet.Circuit, region *Region, obj merge
 		}
 		inits[m] = init
 	}
+	sp := cfg.Trace.Start("merge", "objective", obj.String(), "path", "delta")
 	mres, err := merge.CombinedPlace(name, modes, region.Arch, merge.Options{
 		Seed: cfg.Seed, Effort: cfg.PlaceEffort, Objective: obj,
 		Workers: cfg.PlaceWorkers, Init: inits, WarmStart: true,
+		Obs: cfg.Obs,
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -16,11 +16,13 @@ package flow
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/arch"
 	"repro/internal/lutnet"
 	"repro/internal/merge"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/place"
 	"repro/internal/route"
 	"repro/internal/synth"
@@ -72,6 +74,16 @@ type Config struct {
 	// store — across processes. Results are identical with or without it;
 	// sharing one Cache between concurrent jobs deduplicates their work.
 	Cache *Cache
+	// Obs, when non-nil, receives route and anneal work metrics (it is
+	// propagated into RouteOpts and every placement call). Trace, when
+	// non-nil, records one span per flow stage (synth, size, graph,
+	// place, route, merge, tplace, troute). Both are observability-only:
+	// they never feed back into any algorithm and are excluded from every
+	// artifact key. A Trace must not be shared by concurrent compiles —
+	// the flow's stages are serial within one compile, which is what the
+	// span nesting relies on.
+	Obs   *obs.Registry
+	Trace *obs.Trace
 }
 
 func (c Config) filled() Config {
@@ -100,6 +112,9 @@ func (c Config) filled() Config {
 	if c.RouteOpts.Workers == 0 {
 		c.RouteOpts.Workers = c.RouteWorkers
 	}
+	if c.RouteOpts.Obs == nil {
+		c.RouteOpts.Obs = c.Obs
+	}
 	return c
 }
 
@@ -107,6 +122,7 @@ func (c Config) filled() Config {
 // on every mode description.
 func MapModes(modes []*netlist.Netlist, cfg Config) ([]*lutnet.Circuit, error) {
 	cfg = cfg.filled()
+	defer cfg.Trace.Start("synth").End()
 	out := make([]*lutnet.Circuit, len(modes))
 	for i, n := range modes {
 		opt := synth.Optimize(n)
@@ -133,6 +149,7 @@ type Region struct {
 // width at which every mode routes individually.
 func SizeRegion(modes []*lutnet.Circuit, cfg Config) (*Region, error) {
 	cfg = cfg.filled()
+	defer cfg.Trace.Start("size").End()
 	maxBlocks, maxIO := 0, 0
 	for _, c := range modes {
 		if c.NumBlocks() > maxBlocks {
@@ -205,6 +222,8 @@ func BuildRegion(side, w int) *Region {
 // buildGraph builds (or, with a Cache, fetches) the RRG for a side×side
 // region of channel width w.
 func buildGraph(cfg Config, side, w int) *arch.Graph {
+	defer cfg.Trace.Start("graph",
+		"side", strconv.Itoa(side), "w", strconv.Itoa(w)).End()
 	if cfg.Cache != nil {
 		return cfg.Cache.graph(side, w)
 	}
@@ -223,12 +242,13 @@ func (c Config) NewRegion(side, w int) *Region {
 
 func placeCircuit(c *lutnet.Circuit, a arch.Arch, cfg Config, seedOffset int64) (*place.Placement, place.CircuitCells, error) {
 	if cfg.Cache != nil {
-		return cfg.Cache.placement(c, a.Width, a.Height, cfg.Seed+seedOffset, cfg.PlaceEffort, cfg.PlaceStarts, cfg.PlaceWorkers)
+		return cfg.Cache.placement(c, a.Width, a.Height, cfg.Seed+seedOffset, cfg.PlaceEffort, cfg.PlaceStarts, cfg.PlaceWorkers, cfg.Obs)
 	}
 	prob, cc := place.FromCircuit(c)
 	pl, err := place.Place(prob, a, place.Options{
 		Seed: cfg.Seed + seedOffset, Effort: cfg.PlaceEffort,
 		Starts: cfg.PlaceStarts, Workers: cfg.PlaceWorkers,
+		Obs: cfg.Obs,
 	})
 	if err != nil {
 		return nil, cc, err
@@ -306,11 +326,15 @@ func RunMDR(modes []*lutnet.Circuit, region *Region, cfg Config) (*MDRResult, er
 	cfg = cfg.filled()
 	impls := make([]ModeImpl, 0, len(modes))
 	for mi, c := range modes {
+		sp := cfg.Trace.Start("place", "mode", strconv.Itoa(mi))
 		pl, cc, err := placeCircuit(c, region.Arch, cfg, int64(mi))
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("flow: MDR mode %d: %w", mi, err)
 		}
+		sp = cfg.Trace.Start("route", "mode", strconv.Itoa(mi))
 		impl, err := implementMode(region, c, cc, pl, cfg.RouteOpts, nil)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("flow: MDR mode %d: %w", mi, err)
 		}
@@ -342,10 +366,13 @@ type DCSResult struct {
 // TRoute.
 func RunDCS(name string, modes []*lutnet.Circuit, region *Region, obj merge.Objective, cfg Config) (*DCSResult, error) {
 	cfg = cfg.filled()
+	sp := cfg.Trace.Start("merge", "objective", obj.String())
 	mres, err := merge.CombinedPlace(name, modes, region.Arch, merge.Options{
 		Seed: cfg.Seed, Effort: cfg.PlaceEffort, Objective: obj,
 		Workers: cfg.PlaceWorkers, Starts: cfg.PlaceStarts,
+		Obs: cfg.Obs,
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -358,12 +385,16 @@ func RunDCS(name string, modes []*lutnet.Circuit, region *Region, obj merge.Obje
 func finishDCS(mres *merge.Result, region *Region, cfg Config) (*DCSResult, error) {
 	// TPlace: refine the combined placement of the Tunable circuit (the
 	// topology is fixed now), then route.
+	sp := cfg.Trace.Start("tplace")
 	lutSites, padSites, tpCost, err := TPlace(mres.Tunable, region.Arch, cfg, mres.LUTSite, mres.PadSite)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	ro := cfg.RouteOpts
+	sp = cfg.Trace.Start("troute")
 	tr, err := troute.RouteTunable(region.Graph, mres.Tunable, lutSites, padSites, ro)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -66,6 +66,7 @@ func TPlace(tc *tunable.Circuit, a arch.Arch, cfg Config, initLUT, initPad []arc
 		RefineTempFraction: cfg.RefineTempFraction,
 		Workers:            cfg.PlaceWorkers,
 		Starts:             cfg.PlaceStarts,
+		Obs:                cfg.Obs,
 	}
 	if initLUT != nil && initPad != nil {
 		init := make([]arch.Site, 0, len(prob.Cells))

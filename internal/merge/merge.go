@@ -23,6 +23,7 @@ import (
 	"repro/internal/anneal"
 	"repro/internal/arch"
 	"repro/internal/lutnet"
+	"repro/internal/obs"
 	"repro/internal/place"
 	"repro/internal/tunable"
 )
@@ -71,6 +72,9 @@ type Options struct {
 	// WarmStartTempFraction scales the starting temperature when
 	// WarmStart is set (default 0.02).
 	WarmStartTempFraction float64
+	// Obs forwards to anneal.Config.Obs: per-run move/accept counts land
+	// as mm_anneal_* metrics. Wall-clock-only, never in artifact keys.
+	Obs *obs.Registry
 }
 
 // Result carries the merged Tunable circuit, the grouping assignment and
@@ -542,6 +546,7 @@ func CombinedPlace(name string, modes []*lutnet.Circuit, a arch.Arch, opt Option
 			WarmStart:             opt.Init != nil && opt.WarmStart,
 			WarmStartTempFraction: opt.WarmStartTempFraction,
 			Pool:                  pool,
+			Obs:                   opt.Obs,
 		}, rng)
 		states[i], costs[i], seeds[i] = st, st.totalCost(), seed
 	}

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/anneal"
 	"repro/internal/arch"
+	"repro/internal/obs"
 )
 
 // Cell is a movable object: a logic block (CLB site) or an I/O (pad site).
@@ -123,6 +124,9 @@ type Options struct {
 	// best by the deterministic (cost, seed) tiebreak. 0 or 1 is a single
 	// start. Starts changes results, so it IS part of artifact keys.
 	Starts int
+	// Obs forwards to anneal.Config.Obs: per-run move/accept counts land
+	// as mm_anneal_* metrics. Wall-clock-only, never in artifact keys.
+	Obs *obs.Registry
 }
 
 // Place runs simulated annealing and returns a legal placement.
@@ -177,6 +181,7 @@ func Place(p *Problem, a arch.Arch, opt Options) (*Placement, error) {
 			WarmStart:             opt.Init != nil && opt.WarmStart,
 			WarmStartTempFraction: opt.WarmStartTempFraction,
 			Pool:                  pool,
+			Obs:                   opt.Obs,
 		}, rng)
 		states[i], costs[i], seeds[i] = st, st.totalCost(), seed
 	}

@@ -1,0 +1,62 @@
+package route
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/obs"
+)
+
+// TestRouteObsNeverPerturbsResult is the instrumentation contract for the
+// router: an attached registry may change only what is observable on
+// /metrics, never the routing. The congested workload forces several
+// negotiation iterations so the reroute/requeue paths all record.
+func TestRouteObsNeverPerturbsResult(t *testing.T) {
+	a := arch.New(4, 4, 3)
+	g := arch.BuildGraph(a)
+	var nets []Net
+	for y := 1; y <= 4; y++ {
+		nets = append(nets, Net{
+			Name:   fmt.Sprintf("h%d", y),
+			Source: g.CLBSource(1, y),
+			Sinks:  []int32{g.CLBSink(4, y)},
+		})
+	}
+	plain, err := Route(g, nets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	observed, err := Route(g, nets, Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatal("attaching a metrics registry changed the routing result")
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := obs.ValidateText(buf.Bytes())
+	if err != nil {
+		t.Fatalf("router metrics are not valid exposition: %v\n%s", err, buf.Bytes())
+	}
+	for _, name := range []string{
+		"mm_route_calls_total",
+		"mm_route_iterations",
+		"mm_route_rerouted_connections",
+		"mm_route_requeued_connections",
+		"mm_route_heap_pushes",
+		"mm_route_nodes_visited",
+		"mm_route_warm_connections",
+	} {
+		if !stats.Has(name) {
+			t.Errorf("family %s missing from router metrics", name)
+		}
+	}
+}

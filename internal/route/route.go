@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/obs"
 )
 
 // Net is one signal to route from a SOURCE node to one or more SINK nodes.
@@ -171,6 +172,11 @@ type Options struct {
 	// cold route for the affected connections; warm seeding can slow
 	// convergence at worst, never change what a successful result means.
 	Warm []*Tree
+	// Obs, when non-nil, receives the call's Stats as mm_route_* metrics
+	// after the negotiation finishes. Observed only at the call boundary —
+	// the inner loops never touch it — so a nil registry costs nothing and
+	// a live one cannot perturb results. Never hashed into cache keys.
+	Obs *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -299,7 +305,42 @@ func Route(g *arch.Graph, nets []Net, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("route: Warm has %d entries for %d nets", len(opt.Warm), len(nets))
 	}
 	r := newRouter(g, nets, opt)
-	return r.run()
+	res, err := r.run()
+	if res != nil {
+		observe(opt.Obs, &res.Stats)
+	}
+	return res, err
+}
+
+// observe records one finished route's Stats into the registry. Work
+// counters go into histograms (per-call distributions) rather than raw
+// counters so a scrape distinguishes "many small routes" from "one huge
+// route". Bounds are the shared obs.WorkBuckets, fixed by contract.
+func observe(reg *obs.Registry, s *Stats) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("mm_route_calls_total", "Route invocations.").Inc()
+	reg.Histogram("mm_route_iterations",
+		"Negotiation iterations per Route call.", obs.WorkBuckets).
+		Observe(float64(s.Iterations))
+	rerouted := reg.Histogram("mm_route_rerouted_connections",
+		"Connections ripped up and rerouted, per negotiation iteration.", obs.WorkBuckets)
+	for _, n := range s.Rerouted {
+		rerouted.Observe(float64(n))
+	}
+	reg.Histogram("mm_route_requeued_connections",
+		"Parallel commits that conflicted and fell back to serial reroute, per Route call.",
+		obs.WorkBuckets).Observe(float64(s.Requeued))
+	reg.Histogram("mm_route_heap_pushes",
+		"A* priority-queue pushes and decrease-keys per Route call.", obs.WorkBuckets).
+		Observe(float64(s.HeapPushes))
+	reg.Histogram("mm_route_nodes_visited",
+		"A* node expansions per Route call.", obs.WorkBuckets).
+		Observe(float64(s.NodesVisited))
+	reg.Histogram("mm_route_warm_connections",
+		"Connections seeded intact from a warm baseline, per Route call.", obs.WorkBuckets).
+		Observe(float64(s.WarmConns))
 }
 
 // WireLength counts the wire-segment nodes of a tree.

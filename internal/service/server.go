@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/flow"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // maxRequestBytes bounds a compile request body (BLIF text compresses the
@@ -36,6 +38,18 @@ type Server struct {
 
 	requests, deduped, compiles, failures atomic.Uint64
 
+	// Observability (all nil/zero when Instrument was never called; every
+	// use is nil-safe, so the uninstrumented server pays nothing).
+	reg            *obs.Registry
+	compileSeconds *obs.HistogramVec
+	inflightGauge  *obs.Gauge
+	// metricsSnap holds the StatsSnapshot taken by the last /metrics
+	// scrape: the snapshot-backed counter families read from it, so one
+	// Stats() call feeds every series of one exposition — /metrics and
+	// /stats render from the same construction path by design.
+	metricsSnap atomic.Pointer[StatsSnapshot]
+	pprof       bool
+
 	// testHookBeforeCompile, when set, runs in the winning request's
 	// goroutine after it registered as in-flight and before it compiles —
 	// the dedup test parks the compile there until every duplicate has
@@ -49,6 +63,9 @@ type call struct {
 	done chan struct{}
 	res  *Result
 	err  error
+	// warm marks a result served from the artifact store without running
+	// any flow (the latency histogram's "warm" path).
+	warm bool
 }
 
 // NewServer returns a server executing at most workers concurrent
@@ -66,17 +83,127 @@ func NewServer(cache *flow.Cache, workers int) *Server {
 	}
 }
 
+// Instrument registers the server's metrics into reg and makes the
+// /metrics route serve it as Prometheus text. Registered families:
+//
+//   - mm_compile_seconds{path=cold|warm|delta|dedup} — request latency
+//     histogram by serving path;
+//   - mm_requests_inflight, mm_compile_workers, mm_compile_workers_busy —
+//     saturation gauges;
+//   - mm_requests_total / mm_requests_deduped_total / mm_compiles_total /
+//     mm_compile_failures_total and the mm_cache_* / mm_store_* counter
+//     families — snapshot-backed: an OnScrape hook takes one Stats()
+//     snapshot per exposition, so /metrics and /stats always render from
+//     the same construction path and one scrape is internally coherent.
+//
+// The same registry also receives the flows' mm_route_* / mm_anneal_*
+// work metrics (it is threaded into every compile's Env). Call before
+// serving; not safe to call concurrently with requests.
+func (s *Server) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.reg = reg
+	s.compileSeconds = reg.HistogramVec("mm_compile_seconds",
+		"Compile request latency in seconds by serving path (cold, warm, delta, dedup).",
+		obs.DurationBuckets, "path")
+	s.inflightGauge = reg.Gauge("mm_requests_inflight",
+		"Compile requests currently being served (including deduplicated joiners).")
+	reg.GaugeFunc("mm_compile_workers",
+		"Size of the compile worker pool.",
+		func() float64 { return float64(s.workers) })
+	reg.GaugeFunc("mm_compile_workers_busy",
+		"Compile workers currently executing a flow.",
+		func() float64 { return float64(len(s.sem)) })
+	reg.OnScrape(func() {
+		snap := s.Stats()
+		s.metricsSnap.Store(&snap)
+	})
+	snap := func(f func(*StatsSnapshot) float64) func() float64 {
+		return func() float64 {
+			p := s.metricsSnap.Load()
+			if p == nil {
+				return 0
+			}
+			return f(p)
+		}
+	}
+	reg.GaugeFunc("mm_uptime_seconds", "Seconds since the server started.",
+		snap(func(st *StatsSnapshot) float64 { return float64(st.UptimeSeconds) }))
+	reg.CounterFunc("mm_requests_total", "Compile requests accepted.",
+		snap(func(st *StatsSnapshot) float64 { return float64(st.Requests) }))
+	reg.CounterFunc("mm_requests_deduped_total", "Requests joined to an identical in-flight compile.",
+		snap(func(st *StatsSnapshot) float64 { return float64(st.Deduped) }))
+	reg.CounterFunc("mm_compiles_total", "Flow executions started.",
+		snap(func(st *StatsSnapshot) float64 { return float64(st.Compiles) }))
+	reg.CounterFunc("mm_compile_failures_total", "Compiles that returned an error.",
+		snap(func(st *StatsSnapshot) float64 { return float64(st.Failures) }))
+	for _, m := range []struct {
+		name, help string
+		get        func(*flow.Stats) uint64
+	}{
+		{"mm_cache_graph_builds_total", "Routing-resource graphs built.", func(c *flow.Stats) uint64 { return c.GraphBuilds }},
+		{"mm_cache_graph_hits_total", "Graph requests served from memory.", func(c *flow.Stats) uint64 { return c.GraphHits }},
+		{"mm_cache_graph_loads_total", "Graphs decoded from the artifact store.", func(c *flow.Stats) uint64 { return c.GraphLoads }},
+		{"mm_cache_graph_store_hits_total", "Graph keys found in the artifact store.", func(c *flow.Stats) uint64 { return c.GraphStoreHits }},
+		{"mm_cache_place_anneals_total", "Placement anneals executed.", func(c *flow.Stats) uint64 { return c.PlaceAnneals }},
+		{"mm_cache_place_hits_total", "Placement requests served from memory.", func(c *flow.Stats) uint64 { return c.PlaceHits }},
+		{"mm_cache_place_store_hits_total", "Placements decoded from the artifact store.", func(c *flow.Stats) uint64 { return c.PlaceStoreHits }},
+		{"mm_cache_artifact_hits_total", "Top-level artifact store hits.", func(c *flow.Stats) uint64 { return c.ArtifactHits }},
+		{"mm_cache_artifact_misses_total", "Top-level artifact store misses.", func(c *flow.Stats) uint64 { return c.ArtifactMisses }},
+		{"mm_cache_mem_flushes_total", "Wholesale flushes of the in-memory memo tier.", func(c *flow.Stats) uint64 { return c.MemFlushes }},
+		{"mm_cache_place_transfers_total", "Anneals seeded by ECO baseline placement transfer.", func(c *flow.Stats) uint64 { return c.PlaceTransfers }},
+		{"mm_cache_warm_route_nets_total", "Nets seeded from ECO baseline routing trees.", func(c *flow.Stats) uint64 { return c.WarmRouteNets }},
+		{"mm_cache_baseline_misses_total", "Delta compiles that fell back to cold.", func(c *flow.Stats) uint64 { return c.BaselineMisses }},
+		{"mm_store_hits_total", "Persistent store reads that hit.", func(c *flow.Stats) uint64 { return c.Store.Hits }},
+		{"mm_store_misses_total", "Persistent store reads that missed.", func(c *flow.Stats) uint64 { return c.Store.Misses }},
+		{"mm_store_corrupt_total", "Persistent store entries that failed verification.", func(c *flow.Stats) uint64 { return c.Store.Corrupt }},
+		{"mm_store_bytes_read_total", "Bytes read from the persistent store.", func(c *flow.Stats) uint64 { return uint64(c.Store.BytesRead) }},
+		{"mm_store_bytes_written_total", "Bytes written to the persistent store.", func(c *flow.Stats) uint64 { return uint64(c.Store.BytesWritten) }},
+		{"mm_store_evictions_total", "Entries evicted from the persistent store.", func(c *flow.Stats) uint64 { return c.Store.Evictions }},
+	} {
+		get := m.get
+		reg.CounterFunc(m.name, m.help,
+			snap(func(st *StatsSnapshot) float64 { return float64(get(&st.Cache)) }))
+	}
+}
+
+// EnablePprof mounts net/http/pprof's profiling routes under /debug/pprof/
+// on the next Handler() call. Opt-in: profiling endpoints expose stacks
+// and heap contents, so the daemon only serves them behind its -pprof
+// flag.
+func (s *Server) EnablePprof() { s.pprof = true }
+
 // Handler returns the service's HTTP routes:
 //
 //	POST /compile — CompileRequest JSON in, Result JSON out
 //	GET  /healthz — liveness: {"status":"ok"}
 //	GET  /stats   — traffic counters and cache statistics
+//	GET  /metrics — Prometheus text exposition (after Instrument)
+//	GET  /debug/pprof/* — profiling (after EnablePprof)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", s.handleCompile)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		http.Error(w, "metrics not enabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", obs.TextContentType)
+	_ = s.reg.WriteText(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -109,6 +236,10 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	start := time.Now()
+	s.inflightGauge.Add(1)
+	defer s.inflightGauge.Add(-1)
+
 	key := RequestKey(nls, &req)
 	s.mu.Lock()
 	if c, ok := s.inflight[key]; ok {
@@ -116,6 +247,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		s.deduped.Add(1)
 		<-c.done
+		s.observeCompile("dedup", start)
 		s.respond(w, c.res, c.err)
 		return
 	}
@@ -127,7 +259,28 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.testHookBeforeCompile()
 	}
 	s.execute(c, nls, &req, key)
+	s.observeCompile(compilePath(c), start)
 	s.respond(w, c.res, c.err)
+}
+
+// compilePath classifies how a winning (non-deduplicated) request was
+// served, for the latency histogram's path label.
+func compilePath(c *call) string {
+	switch {
+	case c.warm:
+		return "warm"
+	case c.res != nil && c.res.Delta != nil && c.res.Delta.UsedBaseline:
+		return "delta"
+	default:
+		return "cold"
+	}
+}
+
+func (s *Server) observeCompile(path string, start time.Time) {
+	if s.compileSeconds == nil {
+		return
+	}
+	s.compileSeconds.With(path).Observe(time.Since(start).Seconds())
 }
 
 // execute runs the winning request's compile. The unwind work — freeing
@@ -150,7 +303,11 @@ func (s *Server) execute(c *call, nls []*netlist.Netlist, req *CompileRequest, k
 		s.mu.Unlock()
 		close(c.done)
 	}()
-	c.res, _, c.err = CompileNetlists(nls, req, s.cache)
+	var cmp *flow.Comparison
+	c.res, cmp, c.err = CompileNetlistsEnv(nls, req, Env{Cache: s.cache, Obs: s.reg})
+	// A nil Comparison with a non-nil Result means the artifact store
+	// served the whole compile — no flow ran.
+	c.warm = c.err == nil && c.res != nil && cmp == nil
 }
 
 // respond writes a compile outcome: 200 with the result, or 422 with the

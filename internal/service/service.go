@@ -15,6 +15,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/merge"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/route"
 )
 
@@ -170,6 +171,14 @@ type Result struct {
 	BaselineKey string `json:"baseline_key,omitempty"`
 	// Delta is present when the request asked for a delta compile.
 	Delta *DeltaInfo `json:"delta,omitempty"`
+	// Timings is the per-stage wall-time breakdown of THIS process's work
+	// on the request: flow stages for a live compile, a single
+	// artifact-load row for a warm store hit. Wall-clock only — it is
+	// stripped before a result is persisted (a cached result's timings
+	// would describe some other process's run) and excluded from every
+	// identity, so instrumented and uninstrumented compiles remain
+	// byte-identical in all hashed fields.
+	Timings []obs.StageTiming `json:"timings,omitempty"`
 }
 
 // objective resolves the requested combined-placement objective.
@@ -280,17 +289,36 @@ func resultKey(nls []*netlist.Netlist, req *CompileRequest) codec.Hash {
 	return w.Sum()
 }
 
+// Env bundles the cross-cutting machinery a compile runs inside: the
+// work cache plus the observability sinks. The zero Env is valid — no
+// memoization, no metrics, and an internal throwaway trace (so Timings
+// are always populated on live compiles).
+type Env struct {
+	Cache *flow.Cache
+	// Obs receives route/anneal/cache work metrics for this compile.
+	Obs *obs.Registry
+	// Trace receives the compile's span tree (mmflow -trace hands its
+	// own in to write the Chrome trace afterwards). Must not be shared
+	// by concurrent compiles.
+	Trace *obs.Trace
+}
+
 // Compile runs the full comparison for a request. The returned Comparison
 // carries the in-memory implementation objects for callers (mmflow -v)
 // that need more than the serialisable Result; remote callers — and warm
 // store hits, which skip the flow entirely — only see the Result. A nil
 // cache is valid and simply disables memoization.
 func Compile(req *CompileRequest, cache *flow.Cache) (*Result, *flow.Comparison, error) {
+	return CompileEnv(req, Env{Cache: cache})
+}
+
+// CompileEnv is Compile with explicit observability plumbing.
+func CompileEnv(req *CompileRequest, env Env) (*Result, *flow.Comparison, error) {
 	nls, err := ParseModes(req)
 	if err != nil {
 		return nil, nil, err
 	}
-	return CompileNetlists(nls, req, cache)
+	return CompileNetlistsEnv(nls, req, env)
 }
 
 // CompileNetlists is Compile after BLIF parsing (the server parses first
@@ -300,23 +328,46 @@ func Compile(req *CompileRequest, cache *flow.Cache) (*Result, *flow.Comparison,
 // without running any flow, and by determinism that Result is identical
 // to what a fresh compile would produce.
 func CompileNetlists(nls []*netlist.Netlist, req *CompileRequest, cache *flow.Cache) (*Result, *flow.Comparison, error) {
+	return CompileNetlistsEnv(nls, req, Env{Cache: cache})
+}
+
+// CompileNetlistsEnv is CompileNetlists with explicit observability
+// plumbing: every flow stage lands as a span in env.Trace (or an
+// internal trace when nil), and the resulting per-stage breakdown is
+// returned in Result.Timings.
+func CompileNetlistsEnv(nls []*netlist.Netlist, req *CompileRequest, env Env) (*Result, *flow.Comparison, error) {
 	obj, err := req.objective()
 	if err != nil {
 		return nil, nil, err
 	}
+	cache := env.Cache
+	tr := env.Trace
+	if tr == nil {
+		tr = obs.NewTrace()
+	}
+	root := tr.Start("compile")
 	persistent := cache != nil && cache.Store() != nil
 	var key codec.Hash
 	if persistent {
 		key = resultKey(nls, req)
-		if data, ok := cache.GetArtifact(key); ok {
+		sp := tr.Start("artifact-load")
+		data, ok := cache.GetArtifact(key)
+		if ok {
 			var res Result
 			if jerr := json.Unmarshal(data, &res); jerr == nil && res.Error == "" && res.Region != nil {
+				sp.End()
+				root.SetLabel("path", "warm")
+				root.End()
+				res.Timings = tr.Stages()
 				return &res, nil, nil
 			}
 			// Undecodable or incomplete: fall through and overwrite.
 		}
+		sp.End()
 	}
 	cfg := req.config(cache)
+	cfg.Obs = env.Obs
+	cfg.Trace = tr
 	mapped, err := flow.MapModes(nls, cfg)
 	if err != nil {
 		return nil, nil, err
@@ -368,6 +419,7 @@ func CompileNetlists(nls []*netlist.Netlist, req *CompileRequest, cache *flow.Ca
 		Rerouted: sum.Rerouted, PeakOveruse: sum.PeakOveruse, Requeued: sum.Requeued,
 	}
 
+	sp := tr.Start("bitstream")
 	sw := &SwitchInfo{
 		MDRFull: flow.MDRSwitchMatrix(region, n),
 		DCS:     flow.DCSSwitchMatrix(region.Arch, dcs.TRoute, n),
@@ -382,6 +434,13 @@ func CompileNetlists(nls []*netlist.Netlist, req *CompileRequest, cache *flow.Ca
 	sw.DCSAvg = sw.DCS.Avg()
 	_, _, sw.DCSWorst = sw.DCS.Worst()
 	res.SwitchCost = sw
+	sp.End()
+	if res.Delta != nil && res.Delta.UsedBaseline {
+		root.SetLabel("path", "delta")
+	} else {
+		root.SetLabel("path", "cold")
+	}
+	root.End()
 	if persistent {
 		// Store the baseline artifact of THIS compile next to the result,
 		// keyed by the request identity, and hand the key back — the next
@@ -393,11 +452,16 @@ func CompileNetlists(nls []*netlist.Netlist, req *CompileRequest, cache *flow.Ca
 		// A baseline-miss fallback is transient state (the artifact may
 		// exist by the next request); persisting it would pin the miss
 		// forever. Cache only results whose delta disposition is stable.
+		// Timings are deliberately absent here (res.Timings is set only
+		// after this marshal): a persisted result is served to other
+		// processes, whose time-to-result is their own artifact load, not
+		// this compile's stage breakdown.
 		if res.Delta == nil || !res.Delta.BaselineMiss {
 			if data, jerr := json.Marshal(res); jerr == nil {
 				cache.PutArtifact(key, data)
 			}
 		}
 	}
+	res.Timings = tr.Stages()
 	return res, cmp, nil
 }

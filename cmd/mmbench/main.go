@@ -50,6 +50,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-group details")
 	cachedir := flag.String("cachedir", "", "persistent artifact-store directory: routing-resource graphs, placements and whole group results survive the process, so a re-run of the same sweep skips all graph building, annealing and routing")
 	cachemb := flag.Int64("cachemb", 0, "artifact-store size cap in MiB (0: uncapped)")
+	remotestore := flag.String("remotestore", "", "base URL of a shared remote artifact store (mmstored); local misses fall through to it and results are pushed back")
 	logjson := flag.Bool("logjson", false, "emit the stderr progress/summary lines as structured JSON logs")
 	flag.Parse()
 
@@ -88,10 +89,22 @@ func main() {
 	// and the ablations reuse each other's graphs and placements. With
 	// -cachedir the cache gains a persistent tier — the second identical
 	// invocation serves every group result straight from the store.
+	if *cachedir == "" && *remotestore != "" {
+		// The remote tier write-through needs a local store to land in.
+		tmp, err := os.MkdirTemp("", "mmbench-cache-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		*cachedir = tmp
+	}
 	if *cachedir != "" {
 		st, err := store.Open(*cachedir, *cachemb<<20)
 		if err != nil {
 			fatal(err)
+		}
+		if *remotestore != "" {
+			st.AttachRemote(store.NewRemote(*remotestore, 0))
 		}
 		sc.Cache = flow.NewCacheWithStore(st)
 	} else {

@@ -1,0 +1,95 @@
+// Command mmstored serves a content-addressed artifact store over HTTP —
+// the shared remote tier of a compile fleet. Workers started with
+// `mmserved -remotestore http://host:port` fall through to it on local
+// misses and push their results back, so any artifact one fleet member
+// compiled is a fetch, not a recompute, for every other member.
+//
+// Endpoints:
+//
+//	GET  /blob/{key} — artifact payload (X-Mm-Sum carries its SHA-256);
+//	                   404 for unknown or locally-corrupt keys
+//	PUT  /blob/{key} — store an artifact (checksummed end to end)
+//	GET  /healthz    — liveness probe
+//	GET  /stats      — store counters (hits, misses, corruption, bytes)
+//
+// Keys are hashes of compile inputs, so the store needs no eviction
+// coordination with its clients: a capped store silently forgets cold
+// artifacts and the fleet recomputes them.
+//
+// Usage:
+//
+//	mmstored [-addr :8434] [-dir DIR] [-maxmb MB] [-logjson]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8434", "listen address")
+	dir := flag.String("dir", "", "store directory (empty: a temporary directory, deleted on exit)")
+	maxmb := flag.Int64("maxmb", 0, "store size cap in MiB (0: uncapped)")
+	logjson := flag.Bool("logjson", false, "emit structured JSON logs on stderr instead of human-readable lines")
+	flag.Parse()
+
+	var log *slog.Logger
+	if *logjson {
+		log = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	} else {
+		log = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
+	if *dir == "" {
+		tmp, err := os.MkdirTemp("", "mmstored-")
+		if err != nil {
+			fatal(log, err)
+		}
+		defer os.RemoveAll(tmp)
+		*dir = tmp
+	}
+	st, err := store.Open(*dir, *maxmb<<20)
+	if err != nil {
+		fatal(log, err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           store.Handler(st),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		log.Info("serving artifacts", "addr", *addr, "dir", st.Root(), "cap_mb", *maxmb)
+		done <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(log, err)
+		}
+	case <-ctx.Done():
+		log.Info("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fatal(log, err)
+		}
+	}
+}
+
+func fatal(log *slog.Logger, err error) {
+	log.Error("fatal", "err", err)
+	os.Exit(1)
+}

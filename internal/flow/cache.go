@@ -178,6 +178,10 @@ func (s Stats) String() string {
 		line += fmt.Sprintf("; store %d hits / %d misses / %d corrupt, %dB read / %dB written, %d evicted",
 			s.Store.Hits, s.Store.Misses, s.Store.Corrupt, s.Store.BytesRead, s.Store.BytesWritten, s.Store.Evictions)
 	}
+	if st := s.Store; st.RemoteHits != 0 || st.RemoteMisses != 0 || st.RemotePuts != 0 || st.RemoteErrors != 0 {
+		line += fmt.Sprintf("; remote %d hits / %d misses / %d puts / %d errors",
+			st.RemoteHits, st.RemoteMisses, st.RemotePuts, st.RemoteErrors)
+	}
 	return line
 }
 

@@ -31,12 +31,20 @@ type Server struct {
 	workers int
 	sem     chan struct{}
 
+	// maxQueue bounds how many admitted requests may wait beyond the
+	// running workers; 0 disables admission control (every request
+	// queues). With a limit, request number workers+maxQueue+1 is shed
+	// with 503 + Retry-After instead of queueing unboundedly — the
+	// backpressure a dispatcher converts into retry-on-another-worker.
+	maxQueue int
+	admitted atomic.Int64
+
 	mu       sync.Mutex
 	inflight map[codec.Hash]*call
 
 	started time.Time
 
-	requests, deduped, compiles, failures atomic.Uint64
+	requests, deduped, compiles, failures, shed atomic.Uint64
 
 	// Observability (all nil/zero when Instrument was never called; every
 	// use is nil-safe, so the uninstrumented server pays nothing).
@@ -138,6 +146,12 @@ func (s *Server) Instrument(reg *obs.Registry) {
 		snap(func(st *StatsSnapshot) float64 { return float64(st.Compiles) }))
 	reg.CounterFunc("mm_compile_failures_total", "Compiles that returned an error.",
 		snap(func(st *StatsSnapshot) float64 { return float64(st.Failures) }))
+	reg.CounterFunc("mm_requests_shed_total", "Requests refused with 503 by admission control.",
+		snap(func(st *StatsSnapshot) float64 { return float64(st.Shed) }))
+	reg.GaugeFunc("mm_compile_queue_limit", "Admission limit on in-flight compile requests (0: unbounded).",
+		snap(func(st *StatsSnapshot) float64 { return float64(st.QueueLimit) }))
+	reg.GaugeFunc("mm_compile_admitted", "Compile requests currently admitted (executing, queued or joined).",
+		snap(func(st *StatsSnapshot) float64 { return float64(st.Admitted) }))
 	for _, m := range []struct {
 		name, help string
 		get        func(*flow.Stats) uint64
@@ -161,11 +175,44 @@ func (s *Server) Instrument(reg *obs.Registry) {
 		{"mm_store_bytes_read_total", "Bytes read from the persistent store.", func(c *flow.Stats) uint64 { return uint64(c.Store.BytesRead) }},
 		{"mm_store_bytes_written_total", "Bytes written to the persistent store.", func(c *flow.Stats) uint64 { return uint64(c.Store.BytesWritten) }},
 		{"mm_store_evictions_total", "Entries evicted from the persistent store.", func(c *flow.Stats) uint64 { return c.Store.Evictions }},
+		{"mm_store_remote_hits_total", "Local store misses served by the remote tier.", func(c *flow.Stats) uint64 { return c.Store.RemoteHits }},
+		{"mm_store_remote_misses_total", "Keys absent from both store tiers.", func(c *flow.Stats) uint64 { return c.Store.RemoteMisses }},
+		{"mm_store_remote_puts_total", "Artifacts pushed to the remote store tier.", func(c *flow.Stats) uint64 { return c.Store.RemotePuts }},
+		{"mm_store_remote_errors_total", "Remote store failures handled fail-open (unreachable, transfer or checksum).", func(c *flow.Stats) uint64 { return c.Store.RemoteErrors }},
 	} {
 		get := m.get
 		reg.CounterFunc(m.name, m.help,
 			snap(func(st *StatsSnapshot) float64 { return float64(get(&st.Cache)) }))
 	}
+}
+
+// SetQueueLimit bounds the compile admission queue: at most limit
+// requests may be waiting beyond the ones the worker pool is executing;
+// excess requests are shed immediately with 503 + Retry-After. limit <= 0
+// disables shedding (the pre-fleet behaviour). Call before serving; not
+// safe to call concurrently with requests.
+func (s *Server) SetQueueLimit(limit int) {
+	if limit < 0 {
+		limit = 0
+	}
+	s.maxQueue = limit
+}
+
+// admissionLimit is the total number of in-flight /compile requests
+// (executing + queued + deduplicated joiners) the server accepts; 0 means
+// unbounded.
+func (s *Server) admissionLimit() int64 {
+	if s.maxQueue <= 0 {
+		return 0
+	}
+	return int64(s.workers + s.maxQueue)
+}
+
+// saturated reports whether the admission queue is at its limit — the
+// readiness signal a dispatcher uses to stop sending work here.
+func (s *Server) saturated() bool {
+	limit := s.admissionLimit()
+	return limit > 0 && s.admitted.Load() >= limit
 }
 
 // EnablePprof mounts net/http/pprof's profiling routes under /debug/pprof/
@@ -177,7 +224,9 @@ func (s *Server) EnablePprof() { s.pprof = true }
 // Handler returns the service's HTTP routes:
 //
 //	POST /compile — CompileRequest JSON in, Result JSON out
-//	GET  /healthz — liveness: {"status":"ok"}
+//	GET  /healthz — liveness: {"status":"ok"} while the process serves
+//	GET  /readyz  — readiness: 503 while the admission queue is saturated
+//	                or the remote store tier is unreachable
 //	GET  /stats   — traffic counters and cache statistics
 //	GET  /metrics — Prometheus text exposition (after Instrument)
 //	GET  /debug/pprof/* — profiling (after EnablePprof)
@@ -185,6 +234,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", s.handleCompile)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	if s.pprof {
@@ -218,6 +268,20 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, &Result{Error: "POST required"})
 		return
+	}
+	// Admission control: past the bounded queue the request is shed NOW,
+	// cheaply, instead of parking on the worker semaphore forever. The
+	// Retry-After tells well-behaved clients (and the dispatcher, which
+	// prefers another backend) when to come back.
+	if limit := s.admissionLimit(); limit > 0 {
+		if s.admitted.Add(1) > limit {
+			s.admitted.Add(-1)
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, &Result{Error: "compile queue saturated; retry"})
+			return
+		}
+		defer s.admitted.Add(-1)
 	}
 	s.requests.Add(1)
 	var req CompileRequest
@@ -336,16 +400,46 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is the readiness probe: liveness says "the process runs",
+// readiness says "sending a compile here right now is useful". A worker
+// is unready while its admission queue is saturated (requests would be
+// shed anyway) or while its remote store tier is unreachable (it would
+// compile cold work some other worker already did) — either way the
+// dispatcher should prefer a healthier backend until the condition
+// clears.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if s.saturated() {
+		reasons = append(reasons, "compile queue saturated")
+	}
+	if s.cache != nil && !s.cache.Store().RemoteHealthy() {
+		reasons = append(reasons, "remote store unreachable")
+	}
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "unready", "reasons": reasons,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
 // StatsSnapshot is the /stats document.
 type StatsSnapshot struct {
-	UptimeSeconds int64      `json:"uptime_seconds"`
-	Workers       int        `json:"workers"`
-	Requests      uint64     `json:"requests"`
-	Deduped       uint64     `json:"deduped"`
-	Compiles      uint64     `json:"compiles"`
-	Failures      uint64     `json:"failures"`
-	Inflight      int        `json:"inflight"`
-	Cache         flow.Stats `json:"cache"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	Workers       int    `json:"workers"`
+	Requests      uint64 `json:"requests"`
+	Deduped       uint64 `json:"deduped"`
+	Compiles      uint64 `json:"compiles"`
+	Failures      uint64 `json:"failures"`
+	// Shed counts requests refused with 503 by admission control;
+	// Admitted and QueueLimit describe the queue right now (QueueLimit 0
+	// = shedding disabled).
+	Shed       uint64     `json:"shed"`
+	Admitted   int64      `json:"admitted"`
+	QueueLimit int64      `json:"queue_limit"`
+	Inflight   int        `json:"inflight"`
+	Cache      flow.Stats `json:"cache"`
 }
 
 // Stats returns a snapshot of the server counters.
@@ -360,6 +454,9 @@ func (s *Server) Stats() StatsSnapshot {
 		Deduped:       s.deduped.Load(),
 		Compiles:      s.compiles.Load(),
 		Failures:      s.failures.Load(),
+		Shed:          s.shed.Load(),
+		Admitted:      s.admitted.Load(),
+		QueueLimit:    s.admissionLimit(),
 		Inflight:      inflight,
 	}
 	if s.cache != nil {

@@ -1,0 +1,283 @@
+package store
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+)
+
+// fleet builds a remote blob service over its own store plus n workers
+// attached to it, each with a private local directory.
+func fleet(t *testing.T, n int) (*Store, *httptest.Server, []*Store) {
+	t.Helper()
+	shared, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(Handler(shared))
+	t.Cleanup(ts.Close)
+	workers := make([]*Store, n)
+	for i := range workers {
+		w, err := Open(t.TempDir(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.AttachRemote(NewRemote(ts.URL, 5*time.Second))
+		workers[i] = w
+	}
+	return shared, ts, workers
+}
+
+func TestRemoteWriteThroughSharesArtifacts(t *testing.T) {
+	_, _, ws := fleet(t, 2)
+	a, b := ws[0], ws[1]
+	payload := []byte("artifact payload produced by worker A")
+	key := codec.Sum(payload)
+
+	if err := a.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.RemotePuts != 1 || st.RemoteErrors != 0 {
+		t.Fatalf("worker A remote stats after put: %+v", st)
+	}
+
+	// Worker B never computed this key: its local tier misses, the remote
+	// serves it, and the write-through makes the next read local.
+	got, err := b.Get(key)
+	if err != nil {
+		t.Fatalf("worker B get: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("worker B got %q, want %q", got, payload)
+	}
+	st := b.Stats()
+	if st.RemoteHits != 1 || st.RemoteMisses != 0 || st.RemoteErrors != 0 {
+		t.Fatalf("worker B remote stats after first get: %+v", st)
+	}
+	if _, err := b.Get(key); err != nil {
+		t.Fatalf("worker B second get: %v", err)
+	}
+	st = b.Stats()
+	if st.RemoteHits != 1 {
+		t.Fatalf("second get went remote again: %+v", st)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("second get missed the written-through local entry: %+v", st)
+	}
+}
+
+func TestRemoteMissReportsNotFound(t *testing.T) {
+	_, _, ws := fleet(t, 1)
+	if _, err := ws[0].Get(codec.Sum([]byte("nowhere"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if st := ws[0].Stats(); st.RemoteMisses != 1 || st.RemoteErrors != 0 {
+		t.Fatalf("remote stats: %+v", st)
+	}
+}
+
+// TestRemoteBitFlipHealed covers corruption at rest on the store host: the
+// blob service verifies its own entries, so a bit-flipped file is deleted
+// server-side and reported as a miss; the worker recomputes, and its Put
+// re-pushes a good copy that every later worker can fetch again.
+func TestRemoteBitFlipHealed(t *testing.T) {
+	shared, _, ws := fleet(t, 2)
+	a, b := ws[0], ws[1]
+	payload := []byte("the artifact that gets damaged at rest")
+	key := codec.Sum(payload)
+	if err := a.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload bit in the shared store's entry file.
+	path := shared.Path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := b.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get of damaged blob: err = %v, want ErrNotFound (server-side delete)", err)
+	}
+	if st := shared.Stats(); st.Corrupt != 1 {
+		t.Fatalf("shared store never detected the corruption: %+v", st)
+	}
+	// "Recompute" and re-push.
+	if err := b.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := a.Get(key); err != nil || string(got) != string(payload) {
+		t.Fatalf("after heal, worker A get = %q, %v", got, err)
+	}
+}
+
+// TestRemoteTransitCorruptionHealed covers corruption on the wire: the
+// first transfer of the blob is served with a flipped byte (checksum
+// header intact), which the client must reject as ErrCorrupt; the
+// recompute-and-put re-push overwrites the remote entry, and the next
+// fetch succeeds.
+func TestRemoteTransitCorruptionHealed(t *testing.T) {
+	shared, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := Handler(shared)
+	var corruptNext atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && corruptNext.Load() {
+			rec := httptest.NewRecorder()
+			inner.ServeHTTP(rec, r)
+			body := rec.Body.Bytes()
+			if rec.Code == http.StatusOK && len(body) > 0 {
+				body[0] ^= 0xff
+			}
+			for k, vs := range rec.Header() {
+				w.Header()[k] = vs
+			}
+			w.WriteHeader(rec.Code)
+			w.Write(body)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	w, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AttachRemote(NewRemote(ts.URL, 5*time.Second))
+
+	payload := []byte("the artifact that gets damaged in transit")
+	key := codec.Sum(payload)
+	if err := shared.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	corruptNext.Store(true)
+	if _, err := w.Get(key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted transfer: err = %v, want ErrCorrupt", err)
+	}
+	if st := w.Stats(); st.RemoteErrors != 1 {
+		t.Fatalf("remote stats after corrupt transfer: %+v", st)
+	}
+	// The client must not have written the damaged payload through.
+	if _, err := w.getLocal(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt payload reached the local tier: %v", err)
+	}
+	// Recompute, re-push, clean fetch.
+	corruptNext.Store(false)
+	if err := w.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.AttachRemote(NewRemote(ts.URL, 5*time.Second))
+	if got, err := fresh.Get(key); err != nil || string(got) != string(payload) {
+		t.Fatalf("after heal, fresh worker get = %q, %v", got, err)
+	}
+}
+
+// TestRemoteDownFailOpen: with the remote unreachable, gets degrade to
+// local misses (recompute) and puts still succeed locally — no operation
+// returns a remote-induced failure.
+func TestRemoteDownFailOpen(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close() // nothing listens here any more
+
+	w, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AttachRemote(NewRemote(url, time.Second))
+
+	payload := []byte("computed while the remote is down")
+	key := codec.Sum(payload)
+	if _, err := w.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get with remote down: err = %v, want ErrNotFound", err)
+	}
+	if err := w.Put(key, payload); err != nil {
+		t.Fatalf("put with remote down: %v", err)
+	}
+	if got, err := w.Get(key); err != nil || string(got) != string(payload) {
+		t.Fatalf("local readback: %q, %v", got, err)
+	}
+	st := w.Stats()
+	if st.RemoteErrors < 2 || st.RemotePuts != 0 {
+		t.Fatalf("remote stats with remote down: %+v", st)
+	}
+	if w.RemoteHealthy() {
+		t.Fatal("RemoteHealthy() = true for a dead remote")
+	}
+}
+
+// TestRemoteSingleFlight: concurrent local misses of one key trigger one
+// remote transfer, not N.
+func TestRemoteSingleFlight(t *testing.T) {
+	shared, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("fetched exactly once")
+	key := codec.Sum(payload)
+	if err := shared.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	var gets atomic.Int64
+	release := make(chan struct{})
+	inner := Handler(shared)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			gets.Add(1)
+			<-release // park every fetch until all requesters have piled up
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	w, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AttachRemote(NewRemote(ts.URL, 10*time.Second))
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, results[i] = w.Get(key)
+		}(i)
+	}
+	// Give the requesters time to reach the single-flight gate, then let
+	// the one leader through.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range results {
+		if err != nil {
+			t.Fatalf("requester %d: %v", i, err)
+		}
+	}
+	if got := gets.Load(); got != 1 {
+		t.Fatalf("remote saw %d GETs, want 1 (single-flight)", got)
+	}
+	if st := w.Stats(); st.RemoteHits != 1 {
+		t.Fatalf("remote stats: %+v", st)
+	}
+}

@@ -55,11 +55,19 @@ const magic = "MMSTOR1\n"
 // Store.Stats for a consistent-enough snapshot (individual counters are
 // atomic, the set is not).
 type Stats struct {
-	Hits, Misses, Corrupt uint64 // Get outcomes
+	Hits, Misses, Corrupt uint64 // local-tier Get outcomes
 	Puts                  uint64
 	BytesRead             uint64 // payload bytes returned by hits
 	BytesWritten          uint64 // payload bytes stored by puts
 	Evictions             uint64 // entries removed by the size cap
+	// Remote-tier traffic (all zero without an attached remote).
+	// RemoteHits are local misses served by the remote (and written
+	// through locally); RemoteMisses are keys absent from both tiers;
+	// RemotePuts are artifacts pushed to the remote; RemoteErrors count
+	// every fail-open event — unreachable remote, transfer failure, or a
+	// blob that failed its checksum.
+	RemoteHits, RemoteMisses uint64
+	RemotePuts, RemoteErrors uint64
 }
 
 // Store is a content-addressed artifact store rooted at one directory.
@@ -72,9 +80,20 @@ type Store struct {
 	mu       sync.Mutex // guards curBytes and eviction
 	curBytes int64
 
+	// remote, when attached, is the shared fleet tier consulted on local
+	// misses and pushed to on every Put. fetchMu/fetches single-flight
+	// concurrent remote misses of one key so a thundering herd of workers
+	// warming the same artifact costs one transfer, not N.
+	remote  *Remote
+	fetchMu sync.Mutex
+	fetches map[codec.Hash]*remoteFetch
+
 	hits, misses, corrupt, puts atomic.Uint64
 	bytesRead, bytesWritten     atomic.Uint64
 	evictions                   atomic.Uint64
+
+	remoteHits, remoteMisses atomic.Uint64
+	remotePuts, remoteErrors atomic.Uint64
 }
 
 // staleTempAge is how old an unpublished temp file must be before Open
@@ -114,6 +133,28 @@ func (s *Store) sweepStaleTemps() {
 // Root returns the store's root directory.
 func (s *Store) Root() string { return s.root }
 
+// AttachRemote adds a shared remote tier: local Get misses fall through
+// to it (verified and written through locally), and every Put is pushed
+// to it so other workers find the artifact warm. Attach before serving
+// traffic; not safe to call concurrently with Get/Put.
+func (s *Store) AttachRemote(r *Remote) {
+	s.remote = r
+	s.fetches = map[codec.Hash]*remoteFetch{}
+}
+
+// Remote returns the attached remote tier, or nil.
+func (s *Store) Remote() *Remote { return s.remote }
+
+// RemoteHealthy reports whether the remote tier is reachable; stores
+// without a remote are trivially healthy. Readiness probes call this so a
+// dispatcher can eject a worker whose shared tier is gone.
+func (s *Store) RemoteHealthy() bool {
+	if s == nil || s.remote == nil {
+		return true
+	}
+	return s.remote.Healthy()
+}
+
 // Stats returns a snapshot of the traffic counters.
 func (s *Store) Stats() Stats {
 	return Stats{
@@ -124,6 +165,10 @@ func (s *Store) Stats() Stats {
 		BytesRead:    s.bytesRead.Load(),
 		BytesWritten: s.bytesWritten.Load(),
 		Evictions:    s.evictions.Load(),
+		RemoteHits:   s.remoteHits.Load(),
+		RemoteMisses: s.remoteMisses.Load(),
+		RemotePuts:   s.remotePuts.Load(),
+		RemoteErrors: s.remoteErrors.Load(),
 	}
 }
 
@@ -134,10 +179,24 @@ func (s *Store) Path(key codec.Hash) string {
 	return filepath.Join(s.root, hex[:2], hex[2:])
 }
 
-// Get returns the payload stored under key. It reports ErrNotFound for
-// absent entries and ErrCorrupt (after deleting the entry) for entries
-// that fail verification; both mean "recompute".
+// Get returns the payload stored under key, consulting the local tier
+// first and then — when one is attached — the shared remote tier, with
+// remote hits verified and written through locally. It reports
+// ErrNotFound for entries absent from every tier and ErrCorrupt (after
+// deleting the local entry) for entries that fail verification; every
+// error, including a remote that is down or serving garbage, means
+// "recompute" — a worker whose shared tier fails answers from local
+// state plus fresh work, never with an error of its own.
 func (s *Store) Get(key codec.Hash) ([]byte, error) {
+	payload, err := s.getLocal(key)
+	if err == nil || s.remote == nil {
+		return payload, err
+	}
+	return s.fetchRemote(key, err)
+}
+
+// getLocal is the local-tier read: the whole Get of a remote-less store.
+func (s *Store) getLocal(key codec.Hash) ([]byte, error) {
 	path := s.Path(key)
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -163,9 +222,84 @@ func (s *Store) Get(key codec.Hash) ([]byte, error) {
 	return payload, nil
 }
 
-// Put stores payload under key, atomically replacing any existing entry,
-// then enforces the size cap.
+// remoteFetch is one in-flight remote miss; concurrent requesters of the
+// same key block on done and share the outcome.
+type remoteFetch struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// fetchRemote serves a local miss from the remote tier, single-flighted
+// per key. localErr is what the local tier reported; it is also what the
+// caller sees whenever the remote cannot help (fail-open).
+func (s *Store) fetchRemote(key codec.Hash, localErr error) ([]byte, error) {
+	s.fetchMu.Lock()
+	if f, ok := s.fetches[key]; ok {
+		s.fetchMu.Unlock()
+		<-f.done
+		return f.data, f.err
+	}
+	f := &remoteFetch{done: make(chan struct{})}
+	s.fetches[key] = f
+	s.fetchMu.Unlock()
+
+	f.data, f.err = s.fetchRemoteOnce(key, localErr)
+
+	s.fetchMu.Lock()
+	delete(s.fetches, key)
+	s.fetchMu.Unlock()
+	close(f.done)
+	return f.data, f.err
+}
+
+// fetchRemoteOnce performs the actual remote read and local write-through.
+func (s *Store) fetchRemoteOnce(key codec.Hash, localErr error) ([]byte, error) {
+	payload, err := s.remote.Get(key)
+	switch {
+	case err == nil:
+		s.remoteHits.Add(1)
+		// Write through: the next Get of this key is a local hit. Best
+		// effort — a failed publish only costs a refetch.
+		_ = s.putLocal(key, payload)
+		return payload, nil
+	case errors.Is(err, ErrNotFound):
+		s.remoteMisses.Add(1)
+		return nil, localErr
+	case errors.Is(err, ErrCorrupt):
+		// The remote served bytes that failed their checksum. Recompute;
+		// the resulting Put re-pushes a good copy over the bad entry.
+		s.remoteErrors.Add(1)
+		return nil, ErrCorrupt
+	default:
+		// Transport failure: fail open to the local outcome (a miss), so
+		// a dead remote degrades to recompute, never to request failure.
+		s.remoteErrors.Add(1)
+		return nil, localErr
+	}
+}
+
+// Put stores payload under key in the local tier, atomically replacing
+// any existing entry and enforcing the size cap, then pushes it to the
+// remote tier when one is attached. A failed push is counted and
+// swallowed: the local tier holds the artifact, and the next worker to
+// compute this key re-pushes.
 func (s *Store) Put(key codec.Hash, payload []byte) error {
+	if err := s.putLocal(key, payload); err != nil {
+		return err
+	}
+	if s.remote != nil {
+		if err := s.remote.Put(key, payload); err != nil {
+			s.remoteErrors.Add(1)
+		} else {
+			s.remotePuts.Add(1)
+		}
+	}
+	return nil
+}
+
+// putLocal writes the local tier's entry.
+func (s *Store) putLocal(key codec.Hash, payload []byte) error {
 	path := s.Path(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
